@@ -1,0 +1,81 @@
+"""Shared infrastructure for the experiment benches.
+
+Each bench regenerates one experiment from EXPERIMENTS.md as a printed
+table.  Tables are written to ``benchmarks/results/<name>.txt`` and
+echoed into the terminal summary, so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures both the timing
+stats and the experiment tables.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Sequence
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_TABLES: List[str] = []
+
+
+def _format_table(title: str, headers: Sequence[str],
+                  rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+class TableRecorder:
+    """Collects one experiment's table(s)."""
+
+    def __init__(self, slug: str):
+        self.slug = slug
+        self._chunks: List[str] = []
+
+    def table(self, title: str, headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> None:
+        self._chunks.append(_format_table(title, headers, rows))
+
+    def note(self, text: str) -> None:
+        self._chunks.append(text)
+
+    def flush(self) -> None:
+        if not self._chunks:
+            return
+        text = "\n\n".join(self._chunks)
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{self.slug}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        _TABLES.append(text)
+
+
+@pytest.fixture
+def report(request):
+    """Per-test table recorder, flushed on teardown."""
+    slug = request.node.name.replace("[", "_").replace("]", "")
+    recorder = TableRecorder(slug)
+    yield recorder
+    recorder.flush()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "experiment tables")
+    for text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

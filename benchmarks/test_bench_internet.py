@@ -1,0 +1,107 @@
+"""E5-internet — paper Secs. 4.1–4.2.
+
+Internet virtual circuits chained through 0…4 gateways: establishment
+cost (virtual time, wire frames), steady-state per-call latency, the
+absence of any inter-gateway control plane, and topology reads confined
+to (rare) establishment.  Ablation: the first-hop route cache.
+"""
+
+from deployments import chain_nets, echo_server
+
+
+def _chain_metrics(hops):
+    bed = chain_nets(hops)
+    echo_server(bed, "far.echo", "mEnd")
+    client = bed.module("client", "m0")
+    uadd = client.ali.locate("far.echo")
+
+    frames_before = sum(net.frames_sent for net in bed.networks.values())
+    t0 = bed.now
+    client.ali.call(uadd, "echo", {"n": 0, "text": "establish"})
+    establish_time = bed.now - t0
+    establish_frames = sum(net.frames_sent
+                           for net in bed.networks.values()) - frames_before
+
+    # Steady state: average over warm calls.
+    t0 = bed.now
+    calls = 20
+    for i in range(calls):
+        client.ali.call(uadd, "echo", {"n": i, "text": "steady"})
+    steady = (bed.now - t0) / calls
+
+    control = sum(gw.inter_gateway_control_messages
+                  for gw in bed.gateways.values())
+    topo = client.nucleus.counters["topology_queries"]
+    return bed, client, uadd, {
+        "establish_ms": establish_time * 1000,
+        "establish_frames": establish_frames,
+        "steady_ms": steady * 1000,
+        "inter_gw_control": control,
+        "topology_queries": topo,
+    }
+
+
+def test_bench_internet(benchmark, report):
+    rows = []
+    results = {}
+    for hops in (0, 1, 2, 3, 4):
+        bed, client, uadd, metrics = _chain_metrics(hops)
+        results[hops] = (bed, client, uadd, metrics)
+        rows.append((
+            hops,
+            f"{metrics['establish_ms']:.2f}",
+            metrics["establish_frames"],
+            f"{metrics['steady_ms']:.2f}",
+            metrics["inter_gw_control"],
+            metrics["topology_queries"],
+        ))
+    report.table(
+        "E5-internet: circuits chained through k gateways",
+        ["gateways", "establish virtual-ms", "establish frames",
+         "steady call virtual-ms", "inter-gw control msgs",
+         "topology queries"],
+        rows,
+    )
+    # Shape claims: establishment and steady latency grow with hops;
+    # control plane stays empty; topology read O(1) per destination net.
+    establish = [results[h][3]["establish_ms"] for h in (0, 1, 2, 3, 4)]
+    steady = [results[h][3]["steady_ms"] for h in (0, 1, 2, 3, 4)]
+    assert all(a < b for a, b in zip(establish, establish[1:]))
+    assert all(a <= b for a, b in zip(steady, steady[1:]))
+    assert all(results[h][3]["inter_gw_control"] == 0 for h in results)
+    report.note(
+        "Establishment cost grows with chain length while no gateway "
+        "ever exchanges a routing/control message with another gateway "
+        "(Sec. 4.2: circuit establishment is decentralized; topology is "
+        "read from the naming service only when a route is first needed)."
+    )
+
+    # Ablation: route cache — second circuit to the same network.
+    bed, client, uadd, _ = results[3]
+    echo_server(bed, "far.echo2", "mEnd")
+    uadd2 = client.ali.locate("far.echo2")
+    topo_before = client.nucleus.counters["topology_queries"]
+    t0 = bed.now
+    client.ali.call(uadd2, "echo", {"n": 0, "text": "x"})
+    cached_ms = (bed.now - t0) * 1000
+    topo_cached = client.nucleus.counters["topology_queries"] - topo_before
+
+    client.nucleus.lcm._drop_route(uadd2)
+    client.nucleus.ip.route_cache.clear()
+    client.nucleus.addr_cache.invalidate(uadd2)
+    bed.settle()
+    topo_before = client.nucleus.counters["topology_queries"]
+    t0 = bed.now
+    client.ali.call(uadd2, "echo", {"n": 1, "text": "x"})
+    cold_ms = (bed.now - t0) * 1000
+    topo_cold = client.nucleus.counters["topology_queries"] - topo_before
+    report.table(
+        "E5-internet ablation: first-hop route cache (3-gateway chain, "
+        "second destination on the far network)",
+        ["route cache", "circuit setup virtual-ms", "topology queries"],
+        [("warm", f"{cached_ms:.2f}", topo_cached),
+         ("cleared", f"{cold_ms:.2f}", topo_cold)],
+    )
+    assert topo_cached == 0 and topo_cold >= 1
+
+    benchmark.pedantic(lambda: _chain_metrics(2), rounds=3, iterations=1)

@@ -1,0 +1,44 @@
+"""E1-layering — paper Figs. 2-1 … 2-4.
+
+Reproduces the architecture diagrams as an observed layer trace: one
+application send descends ALI → LCM → IP → ND on the sender and the
+delivery ascends through the receiving module's layers.
+"""
+
+from deployments import echo_server, single_net
+from repro.ntcs.nucleus import NucleusConfig
+
+
+def _traced_send():
+    bed = single_net(config=NucleusConfig(trace=True))
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("dest")
+    client.nucleus.tracer.clear()
+    client.ali.call(uadd, "echo", {"n": 1, "text": "x"})
+    return client
+
+
+def test_bench_layering(benchmark, report):
+    client = benchmark.pedantic(_traced_send, rounds=3, iterations=1)
+    records = [r for r in client.nucleus.tracer.records if r.phase == "enter"]
+    rows = [
+        (f"{i:02d}", r.layer, r.operation, r.caller or "-", r.reason or "-",
+         r.depth)
+        for i, r in enumerate(records)
+    ]
+    report.table(
+        "E1-layering: layer crossings for the first call "
+        "(circuit establishment included, sender side)",
+        ["#", "layer", "operation", "caller", "reason", "depth"],
+        rows,
+    )
+    # The structural claim of Figs. 2-1…2-4.
+    layers = [r.layer for r in records]
+    first = {layer: layers.index(layer) for layer in ("ALI", "LCM", "IP", "ND")
+             if layer in layers}
+    assert first["ALI"] < first["LCM"] < first["IP"] < first["ND"]
+    report.note(
+        "Order of first entry: ALI -> LCM -> IP -> ND, matching the "
+        "ComMod/Nucleus layering of Figs. 2-1 through 2-4."
+    )

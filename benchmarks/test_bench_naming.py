@@ -1,0 +1,91 @@
+"""E2-naming — paper Secs. 3.2–3.3.
+
+Two-level resolution (name → UAdd → physical address), the cost of cold
+vs cached resolution, and the removability of the Name Server after
+warm-up ("the Name Server can be removed with no consequence, unless
+the system is reconfigured").  Ablation: the UAdd→physical cache.
+"""
+
+from deployments import echo_server, single_net
+from repro.errors import NameServerUnreachable, NtcsError
+
+
+def _resolution_cost(bed, client, uadd, invalidate_cache):
+    """(virtual time, NS requests) for one reopen+call."""
+    ns = bed.name_server_instance
+    client.nucleus.lcm._drop_route(uadd)
+    if invalidate_cache:
+        client.nucleus.addr_cache.invalidate(uadd)
+    bed.settle()
+    ns_before = sum(count for _, count in ns.counters)
+    t0 = bed.now
+    client.ali.call(uadd, "echo", {"n": 0, "text": "x"})
+    ns_after = sum(count for _, count in ns.counters)
+    return bed.now - t0, ns_after - ns_before
+
+
+def test_bench_naming(benchmark, report):
+    bed = single_net()
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("dest")
+    client.ali.call(uadd, "echo", {"n": 0, "text": "warm"})
+
+    rows = []
+    cold_time, cold_ns = _resolution_cost(bed, client, uadd,
+                                          invalidate_cache=True)
+    rows.append(("reopen, cache invalidated (cold)", f"{cold_time * 1000:.2f}",
+                 cold_ns))
+    warm_time, warm_ns = _resolution_cost(bed, client, uadd,
+                                          invalidate_cache=False)
+    rows.append(("reopen, cache warm", f"{warm_time * 1000:.2f}", warm_ns))
+    report.table(
+        "E2-naming: circuit (re)establishment cost, cold vs cached UAdd->physical",
+        ["scenario", "virtual ms", "Name-Server requests"],
+        rows,
+    )
+    assert cold_ns > warm_ns == 0
+    assert cold_time > warm_time
+
+    # -- removal after warm-up ---------------------------------------------
+    bed.name_server_instance.kill()
+    bed.settle()
+    outcome_rows = []
+    try:
+        client.ali.call(uadd, "echo", {"n": 1, "text": "x"})
+        outcome_rows.append(("call over existing circuit", "OK"))
+    except NtcsError as exc:
+        outcome_rows.append(("call over existing circuit", f"FAILED: {exc}"))
+    client.nucleus.lcm._drop_route(uadd)
+    bed.settle()
+    try:
+        client.ali.call(uadd, "echo", {"n": 2, "text": "x"})
+        outcome_rows.append(("reopen from cache", "OK"))
+    except NtcsError as exc:
+        outcome_rows.append(("reopen from cache", f"FAILED: {exc}"))
+    try:
+        client.ali.locate("dest")
+        outcome_rows.append(("new name resolution", "OK (unexpected)"))
+    except NameServerUnreachable:
+        outcome_rows.append(("new name resolution",
+                             "FAILED (expected: reconfiguration needs the NS)"))
+    report.table(
+        "E2-naming: operations after removing the Name Server (warm system)",
+        ["operation", "outcome"],
+        outcome_rows,
+    )
+    assert outcome_rows[0][1] == "OK"
+    assert outcome_rows[1][1] == "OK"
+    assert outcome_rows[2][1].startswith("FAILED")
+
+    # -- wall-clock cost of a cached round trip ------------------------------------
+    def warm_roundtrip():
+        bed2 = single_net()
+        echo_server(bed2, "dest", "sun1")
+        c = bed2.module("client", "vax1")
+        u = c.ali.locate("dest")
+        c.ali.call(u, "echo", {"n": 0, "text": "w"})
+        for i in range(20):
+            c.ali.call(u, "echo", {"n": i, "text": "w"})
+
+    benchmark.pedantic(warm_roundtrip, rounds=3, iterations=1)

@@ -1,0 +1,85 @@
+"""E9-nsloop — paper Sec. 6.3.
+
+The pathological Name-Server circuit break: without the LCM patch the
+system recurses "until either the stack overflows, or the connection
+can be reestablished, whichever occurs first"; with the patch the same
+failure is a bounded, clean error.  All four arms are reproduced.
+"""
+
+from deployments import echo_server, single_net
+from repro.errors import NameServerUnreachable, RecursionLimitExceeded
+from repro.ntcs.nucleus import NucleusConfig
+
+
+def _run_arm(patch: bool, ns_comes_back: bool):
+    config = NucleusConfig(ns_fault_patch=patch, open_timeout=0.5,
+                           call_timeout=1.0, recursion_limit=48)
+    bed = single_net(config=config)
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1", config=NucleusConfig(
+        ns_fault_patch=patch, open_timeout=0.5, call_timeout=1.0,
+        recursion_limit=48))
+    client.ali.ping_name_server()
+    client.nucleus.max_depth_seen = 0
+
+    if ns_comes_back:
+        # Break the circuit and lose a handful of reconnection attempts;
+        # the Name Server answers again once the drops are exhausted.
+        client.nucleus.lcm._drop_route(bed.wellknown.ns_uadd)
+        bed.settle()
+        bed.networks["ether0"].faults.drop_next(6)
+    else:
+        bed.name_server_instance.process.kill()
+        bed.settle()
+
+    try:
+        client.ali.locate("dest")
+        outcome = "recovered"
+    except RecursionLimitExceeded:
+        outcome = "stack overflow (recursion limit)"
+    except NameServerUnreachable:
+        outcome = "clean NameServerUnreachable"
+    return {
+        "outcome": outcome,
+        "max_depth": client.nucleus.max_depth_seen,
+        "faults": client.nucleus.counters["lcm_address_faults"],
+        "patch_hits": client.nucleus.counters["ns_fault_patch_hits"],
+    }
+
+
+def test_bench_nsloop(benchmark, report):
+    rows = []
+    arms = [
+        (False, False, "stack overflow (recursion limit)"),
+        (False, True, "recovered"),
+        (True, False, "clean NameServerUnreachable"),
+        (True, True, "recovered"),
+    ]
+    for patch, returns, expected in arms:
+        metrics = _run_arm(patch, returns)
+        rows.append((
+            "patched" if patch else "unpatched",
+            "NS comes back" if returns else "NS stays dead",
+            metrics["outcome"], metrics["max_depth"],
+            metrics["faults"], metrics["patch_hits"],
+        ))
+        assert metrics["outcome"] == expected, (patch, returns, metrics)
+    report.table(
+        "E9-nsloop: broken Name-Server circuit, LCM patch on/off",
+        ["LCM fault handler", "environment", "outcome",
+         "max Nucleus depth", "address faults", "patch activations"],
+        rows,
+    )
+    unpatched_depth = rows[0][3]
+    patched_depth = rows[2][3]
+    assert unpatched_depth >= 40 > patched_depth
+    report.note(
+        "Unpatched: ND sees the dead circuit, the LCM address trap asks "
+        "the NSP, which talks to the Name Server through the very "
+        "circuit that broke — unbounded recursion (Sec. 6.3).  Patched: "
+        "the LCM retries the well-known physical address a bounded "
+        "number of times instead; "
+        '"the exception which caused this address trap is reasonable in '
+        'all cases but this one."'
+    )
+    benchmark.pedantic(lambda: _run_arm(True, False), rounds=3, iterations=1)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Inter-machine data conversion (paper Sec. 5), shown at the byte level.
+
+Sends the same structured message between every pair of machine types
+and prints the mode the NTCS chose and the wire bytes.  Then forces the
+*wrong* mode across a VAX→Sun pair to show the corruption the mode rule
+prevents.
+
+Run:  python examples/heterogeneous.py
+"""
+
+from repro import APOLLO, Field, IBM_PC, StructDef, SUN3, Testbed, VAX
+from repro.conversion import IMAGE, decode_body, encode_values
+
+MACHINE_TYPES = [VAX, SUN3, APOLLO, IBM_PC]
+
+
+def main():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    for mtype in MACHINE_TYPES:
+        bed.machine(f"m.{mtype.name}", mtype, networks=["ether0"])
+    bed.name_server("m.VAX")
+    sdef = StructDef("sample", 100, [
+        Field("magic", "u32"),
+        Field("count", "i16"),
+        Field("label", "char[8]"),
+    ])
+    bed.registry.register(sdef)
+    values = {"magic": 0x01020304, "count": -7, "label": "ursa"}
+
+    print("Mode matrix (who byte-copies, who converts):\n")
+    print(f"{'source':>8} {'dest':>8} {'mode':>7}  wire bytes")
+    for src in MACHINE_TYPES:
+        for dst in MACHINE_TYPES:
+            mode, wire = encode_values(bed.registry, 100, values, src, dst)
+            decoded = decode_body(bed.registry, 100, mode, wire, dst)
+            assert decoded == values
+            name = "image" if mode == IMAGE else "packed"
+            print(f"{src.name:>8} {dst.name:>8} {name:>7}  {wire.hex()}")
+
+    print("\nNow the same transfer through a live system "
+          "(sink on the Sun, source on the VAX):")
+    received = []
+    sink = bed.module("sink", "m.Sun-3")
+    sink.ali.set_request_handler(lambda m: received.append(m))
+    src = bed.module("src", "m.VAX")
+    uadd = src.ali.locate("sink")
+    src.ali.send(uadd, "sample", values)
+    bed.settle()
+    message = received[-1]
+    print(f"  arrived via {'packed' if message.mode else 'image'} mode, "
+          f"decoded: {message.values}")
+
+    print("\nWhat the mode rule prevents — forcing image mode VAX->Sun:")
+    mode, wire = encode_values(bed.registry, 100, values, VAX, SUN3,
+                               mode=IMAGE)
+    corrupted = decode_body(bed.registry, 100, mode, wire, SUN3)
+    print(f"  sent:     magic=0x{values['magic']:08X} count={values['count']}")
+    print(f"  received: magic=0x{corrupted['magic']:08X} "
+          f"count={corrupted['count']}   <-- byte-swapped garbage")
+    print("\n(The byte ordering of long integers really does differ between")
+    print(" the VAX and the Sun systems — Sec. 5.)")
+
+
+if __name__ == "__main__":
+    main()

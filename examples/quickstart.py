@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: two modules, one Name Server, one call.
+
+Builds the smallest useful NTCS deployment — a VAX and a Sun on one
+Ethernet — registers an echo server, locates it by logical name, and
+makes a synchronous call.  Note that the client never learns where the
+server runs, and the VAX→Sun byte-order difference is handled silently
+(the reply arrives in packed mode).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Field, StructDef, SUN3, Testbed, VAX
+
+
+def main():
+    # 1. The deployment: networks, machines, the Name Server.
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.machine("vax1", VAX, networks=["ether0"])
+    bed.machine("sun1", SUN3, networks=["ether0"])
+    bed.name_server("vax1")
+
+    # 2. The application's message vocabulary (ids 64+ are yours).
+    bed.registry.register(StructDef("greeting", 100, [
+        Field("n", "u32"),
+        Field("text", "char[48]"),
+    ]))
+
+    # 3. A server module: register a logical name, install a handler.
+    server = bed.module("greeter", "sun1")
+
+    def handle(request):
+        print(f"  [greeter@sun1] request #{request.values['n']}: "
+              f"{request.values['text']!r} (transfer mode: "
+              f"{'packed' if request.mode else 'image'})")
+        server.ali.reply(request, "greeting", {
+            "n": request.values["n"],
+            "text": f"hello, {request.values['text']}!",
+        })
+
+    server.ali.set_request_handler(handle)
+
+    # 4. A client: locate by name once, then call.
+    client = bed.module("client.1", "vax1")
+    uadd = client.ali.locate("greeter")
+    print(f"[client@vax1] 'greeter' resolved to {uadd}")
+    for n, text in enumerate(("world", "URSA", "ICDCS 1986")):
+        reply = client.ali.call(uadd, "greeting", {"n": n, "text": text})
+        print(f"[client@vax1] reply #{reply.values['n']}: "
+              f"{reply.values['text']!r}")
+
+    status = client.ali.status()
+    print(f"\n[client@vax1] status: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Watching the Nucleus recurse (paper Sec. 6).
+
+Runs the Sec. 6.1 first-send scenario with full layer tracing and
+prints the indented trace — then reproduces the Sec. 6.3 pathological
+Name-Server recursion, unpatched and patched.
+
+Run:  python examples/recursion_trace.py
+"""
+
+from repro import Field, StructDef, SUN3, Testbed, VAX
+from repro.drts.monitor import Monitor, enable_monitoring
+from repro.drts.timeservice import TimeServer, enable_time_correction
+from repro.errors import NameServerUnreachable, RecursionLimitExceeded
+from repro.ntcs.nucleus import NucleusConfig
+
+
+def build(patch=True, trace=True):
+    config = NucleusConfig(trace=trace, ns_fault_patch=patch,
+                           open_timeout=0.5, call_timeout=1.0,
+                           recursion_limit=40)
+    bed = Testbed(config=config)
+    bed.network("ether0", protocol="tcp")
+    bed.machine("vax1", VAX, networks=["ether0"])
+    bed.machine("sun1", SUN3, networks=["ether0"])
+    bed.name_server("vax1")
+    bed.registry.register(StructDef("echo", 100, [
+        Field("n", "u32"), Field("text", "char[32]"),
+    ]))
+    Monitor(bed.module("mon", "sun1", register=False))
+    TimeServer(bed.module("time", "vax1", register=False))
+    server = bed.module("dest", "sun1")
+    server.ali.set_request_handler(
+        lambda req: req.reply_expected and server.ali.reply(
+            req, "echo", {"n": req.values["n"], "text": "ok"}))
+    client = bed.module("client", "vax1")
+    return bed, client
+
+
+def main():
+    print("=== Sec. 6.1: the first-send scenario, traced ===\n")
+    bed, client = build()
+    enable_monitoring(client)
+    enable_time_correction(client)
+    uadd = client.ali.locate("dest")
+    client.nucleus.tracer.clear()
+    client.ali.call(uadd, "echo", {"n": 1, "text": "cold"})
+    bed.settle()
+    print(client.nucleus.tracer.format())
+    print(f"\nmax Nucleus depth: {client.nucleus.max_depth_seen}")
+
+    print("\n=== Sec. 6.3: broken Name-Server circuit, UNPATCHED ===\n")
+    bed, client = build(patch=False, trace=False)
+    client.ali.ping_name_server()
+    bed.name_server_instance.process.kill()
+    bed.settle()
+    try:
+        client.ali.locate("dest")
+    except RecursionLimitExceeded as exc:
+        print(f"  -> {type(exc).__name__}: {exc}")
+    print(f"  max depth reached: {client.nucleus.max_depth_seen} "
+          "(the paper: \"until either the stack overflows, or the "
+          "connection can be reestablished\")")
+
+    print("\n=== Sec. 6.3: the same failure, PATCHED ===\n")
+    bed, client = build(patch=True, trace=False)
+    client.ali.ping_name_server()
+    bed.name_server_instance.process.kill()
+    bed.settle()
+    try:
+        client.ali.locate("dest")
+    except NameServerUnreachable as exc:
+        print(f"  -> {type(exc).__name__}: {exc}")
+    print(f"  max depth reached: {client.nucleus.max_depth_seen} "
+          f"(patch activations: "
+          f"{client.nucleus.counters['ns_fault_patch_hits']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The URSA distributed information-retrieval system (the paper's
+motivating application, Sec. 1.2) across two networks.
+
+Topology:
+    ether0 (TCP):  vax1 (Name Server + user host), sun1 (search server)
+    ring0  (MBX):  apollo1, apollo2 (index shards), apollo1 (documents)
+    gateway:       gw1 joins both networks
+
+Every search fans out from the search server to the index shards across
+the gateway — server-to-server NTCS traffic nested inside request
+handling.
+
+Run:  python examples/ursa_search.py
+"""
+
+from repro import APOLLO, SUN3, Testbed, VAX
+from repro.ursa import Corpus, deploy_ursa
+
+
+def main():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.network("ring0", protocol="mbx", latency=0.0005)
+    bed.machine("vax1", VAX, networks=["ether0"])
+    bed.machine("sun1", SUN3, networks=["ether0"])
+    bed.machine("gw1", APOLLO, networks=["ether0", "ring0"])
+    bed.machine("apollo1", APOLLO, networks=["ring0"])
+    bed.machine("apollo2", APOLLO, networks=["ring0"])
+    bed.name_server("vax1")
+    bed.gateway("gw1", prime_for=["ring0"])
+
+    corpus = Corpus(n_docs=120, seed=42)
+    ursa = deploy_ursa(
+        bed, corpus,
+        index_machines=["apollo1", "apollo2"],
+        search_machine="sun1",
+        docs_machine="apollo1",
+        host_machines=["vax1"],
+    )
+    host = ursa.hosts[0]
+
+    t1, t2, t3 = corpus.common_terms(3)
+    queries = [t1, f"{t1} AND {t2}", f"{t1} OR {t2}", f"{t2} AND NOT {t3}"]
+    print(f"Corpus: {len(corpus)} documents, "
+          f"{len(corpus.vocabulary)} vocabulary terms")
+    print(f"Index shards: {[s.name for s in ursa.index_servers]} "
+          f"(on the Apollo ring, reached through gateway gw1)\n")
+
+    for query in queries:
+        hits = host.search(query)
+        print(f"query {query!r}: {len(hits)} hits -> {hits[:8]}"
+              f"{' ...' if len(hits) > 8 else ''}")
+
+    doc_id, text = host.search_and_fetch(t1, limit=1)[0]
+    print(f"\nFirst document for {t1!r} (doc {doc_id}):")
+    print(f"  {text[:140]}...")
+
+    print("\nGateway statistics:")
+    gw = bed.gateways["gw1"]
+    print(f"  circuits established: {gw.circuits_established}")
+    print(f"  messages forwarded:   {gw.messages_forwarded}")
+    print(f"  inter-gateway control messages: "
+          f"{gw.inter_gateway_control_messages} (always zero, Sec. 4.2)")
+    print(f"  index-server calls made by the search server: "
+          f"{ursa.search_server.index_calls}")
+
+
+if __name__ == "__main__":
+    main()

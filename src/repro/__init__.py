@@ -1,0 +1,75 @@
+"""repro — a reproduction of Zeleznik's NTCS (ICDCS 1986).
+
+A portable, network-transparent communication system for message-based
+applications, rebuilt in Python on a deterministic simulation of the
+paper's heterogeneous testbed (VAX/Sun/Apollo machines, TCP and
+Apollo-MBX native IPCSs, disjoint networks joined by portable
+gateways), plus the URSA-style information-retrieval application it was
+built for.
+
+Quickstart::
+
+    from repro import Testbed, VAX, SUN3, Field, StructDef
+
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.machine("vax1", VAX, networks=["ether0"])
+    bed.machine("sun1", SUN3, networks=["ether0"])
+    bed.name_server("vax1")
+    bed.registry.register(StructDef("greeting", 100, [Field("text", "char[32]")]))
+
+    server = bed.module("echo.server", "sun1")
+    server.ali.set_request_handler(
+        lambda req: server.ali.reply(req, "greeting", {"text": req.values["text"]}))
+
+    client = bed.module("client.1", "vax1")
+    uadd = client.ali.locate("echo.server")
+    reply = client.ali.call(uadd, "greeting", {"text": "hello"})
+    assert reply.values["text"] == "hello"
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-claim reproductions.
+"""
+
+from repro.conversion import ConversionRegistry, Field, StructDef, IMAGE, PACKED
+from repro.errors import NtcsError
+from repro.machine import APOLLO, IBM_PC, Machine, MachineType, SimProcess, SUN3, VAX
+from repro.netsim import Network, Scheduler
+from repro.ntcs import Address, NAME_SERVER_UADD, Nucleus, NucleusConfig, WellKnownTable
+from repro.ntcs.gateway import Gateway
+from repro.commod import ComMod
+from repro.naming import NameDatabase, NameRecord, NameServer, NspLayer
+from repro.testbed import Testbed, make_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "APOLLO",
+    "ComMod",
+    "ConversionRegistry",
+    "Field",
+    "Gateway",
+    "IBM_PC",
+    "IMAGE",
+    "Machine",
+    "MachineType",
+    "make_registry",
+    "NAME_SERVER_UADD",
+    "NameDatabase",
+    "NameRecord",
+    "NameServer",
+    "Network",
+    "NspLayer",
+    "NtcsError",
+    "Nucleus",
+    "NucleusConfig",
+    "PACKED",
+    "Scheduler",
+    "SimProcess",
+    "StructDef",
+    "SUN3",
+    "Testbed",
+    "VAX",
+    "WellKnownTable",
+]

@@ -1,0 +1,11 @@
+"""The ComMod: the application's entire view of the NTCS (Sec. 2.1).
+
+"Each application process must bind with a passive communication module
+(ComMod), which is the only aspect of the NTCS visible to the
+application.  To the application, the ComMod is the NTCS."
+"""
+
+from repro.commod.commod import ComMod
+from repro.commod.ali import AliLayer
+
+__all__ = ["ComMod", "AliLayer"]

@@ -1,0 +1,60 @@
+"""Inter-machine data conversion (paper Sec. 5).
+
+Three representations move application and control data between
+machines of different architectures:
+
+* **image mode** — a plain byte copy of the in-memory structure, legal
+  only between image-compatible machine types.  Encoded with the
+  *source* machine's byte order and decoded with the *destination's*;
+  using it across incompatible machines visibly corrupts data, exactly
+  as it would have on the paper's VAX↔Sun pairs.
+* **packed mode** — an application-determined character (ASCII)
+  transport format produced by per-message-type pack/unpack routines.
+  Those routines are built automatically by :mod:`codegen` from the
+  message structure definitions, reproducing the URSA project's
+  code-generating mechanism ([22] in the paper).
+* **shift mode** — endian-independent byte-shifting of 4-byte-integer
+  message headers (:mod:`shiftmode`), cheap enough to use for every
+  transfer regardless of destination.
+
+The decision between image and packed is *not* made here: the lowest
+NTCS layer that can see the destination machine type makes it, via
+:func:`choose_mode`, so that no needless conversion ever happens.
+"""
+
+from repro.conversion.structdef import Field, StructDef
+from repro.conversion.modes import (
+    IMAGE,
+    PACKED,
+    choose_mode,
+    decode_body,
+    encode_body,
+    encode_values,
+)
+from repro.conversion.registry import ConversionRegistry
+from repro.conversion.codegen import generate_pack_source, generate_unpack_source, build_codecs
+from repro.conversion.shiftmode import (
+    shift_encode_u32s,
+    shift_decode_u32s,
+    split_u64,
+    join_u64,
+)
+
+__all__ = [
+    "Field",
+    "StructDef",
+    "IMAGE",
+    "PACKED",
+    "choose_mode",
+    "encode_body",
+    "encode_values",
+    "decode_body",
+    "ConversionRegistry",
+    "generate_pack_source",
+    "generate_unpack_source",
+    "build_codecs",
+    "shift_encode_u32s",
+    "shift_decode_u32s",
+    "split_u64",
+    "join_u64",
+]

@@ -1,0 +1,69 @@
+"""Shift mode: endian-independent header encoding (paper Sec. 5.2).
+
+"Message header information is transferred by byte shifting each header
+integer sequentially into the final message, using standard high level
+shift and mask routines. ... Byte ordering problems are hidden by the
+high level shift/mask routines, and by transmitting the values as a
+byte stream."
+
+These functions intentionally avoid :mod:`struct`: the point of shift
+mode is that explicit shifts and masks define the wire order themselves,
+so the code is identical on every architecture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConversionError
+
+U32_BYTES = 4
+
+
+def shift_encode_u32s(values: Sequence[int]) -> bytes:
+    """Encode a sequence of 32-bit unsigned integers, four bytes each,
+    most-significant byte first — by shifting, not by struct."""
+    out = bytearray()
+    for value in values:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ConversionError(f"shift mode value {value} out of u32 range")
+        out.append((value >> 24) & 0xFF)
+        out.append((value >> 16) & 0xFF)
+        out.append((value >> 8) & 0xFF)
+        out.append(value & 0xFF)
+    return bytes(out)
+
+
+def shift_decode_u32s(data: bytes, count: int, offset: int = 0) -> List[int]:
+    """Decode ``count`` 32-bit integers from ``data`` starting at
+    ``offset``, by shifting the bytes back together."""
+    need = offset + count * U32_BYTES
+    if len(data) < need:
+        raise ConversionError(
+            f"shift mode: need {need} bytes, have {len(data)}"
+        )
+    values = []
+    pos = offset
+    for _ in range(count):
+        value = (
+            (data[pos] << 24)
+            | (data[pos + 1] << 16)
+            | (data[pos + 2] << 8)
+            | data[pos + 3]
+        )
+        values.append(value)
+        pos += U32_BYTES
+    return values
+
+
+def split_u64(value: int) -> Tuple[int, int]:
+    """Split a 64-bit value into (high, low) 32-bit halves for headers
+    built from 4-byte integers."""
+    if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+        raise ConversionError(f"{value} out of u64 range")
+    return (value >> 32) & 0xFFFFFFFF, value & 0xFFFFFFFF
+
+
+def join_u64(high: int, low: int) -> int:
+    """Reassemble a 64-bit value from its header halves."""
+    return ((high & 0xFFFFFFFF) << 32) | (low & 0xFFFFFFFF)

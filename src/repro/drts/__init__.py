@@ -1,0 +1,26 @@
+"""Distributed run-time support (DRTS) services (paper Secs. 1, 1.2).
+
+"On top of both the NTCS and the native operating system at each
+machine, various DRTS services have been added as required": a
+distributed network monitor and precision time corrector ([27]), process
+control, and error logging.  The NTCS itself uses the monitor and time
+services, "forcing the Nucleus to operate recursively" (Sec. 6).
+"""
+
+from repro.drts.protocol import register_drts_types
+from repro.drts.monitor import Monitor, MonitorClient
+from repro.drts.timeservice import TimeServer, TimeClient
+from repro.drts.errorlog import ErrorLogServer, ErrorLogClient
+from repro.drts.proctl import ProcessController, ProcessControlServer
+
+__all__ = [
+    "register_drts_types",
+    "Monitor",
+    "MonitorClient",
+    "TimeServer",
+    "TimeClient",
+    "ErrorLogServer",
+    "ErrorLogClient",
+    "ProcessController",
+    "ProcessControlServer",
+]

@@ -1,0 +1,53 @@
+"""Wire structures for the DRTS services (type ids 40–63)."""
+
+from __future__ import annotations
+
+from repro.conversion import ConversionRegistry, Field, StructDef
+
+T_MONITOR_EVENT = 40
+T_TIME_REQUEST = 41
+T_TIME_REPLY = 42
+T_ERRLOG_REPORT = 43
+T_ERRLOG_ACK = 44
+T_PROCTL_RELOCATE = 45
+T_PROCTL_ACK = 46
+
+_STRUCTS = [
+    # One monitor data point, sent connectionless by the LCM-Layer.
+    StructDef("monitor_event", T_MONITOR_EVENT, [
+        Field("module", "char[64]"),
+        Field("event", "char[16]"),
+        Field("peer", "char[24]"),
+        Field("msg_type", "char[32]"),
+        Field("t", "f64"),
+    ]),
+    # Cristian-style time exchange for the precision time corrector.
+    StructDef("time_request", T_TIME_REQUEST, [
+        Field("client_send", "f64"),
+    ]),
+    StructDef("time_reply", T_TIME_REPLY, [
+        Field("client_send", "f64"),
+        Field("server_time", "f64"),
+    ]),
+    StructDef("errlog_report", T_ERRLOG_REPORT, [
+        Field("module", "char[64]"),
+        Field("text", "bytes"),
+    ]),
+    StructDef("errlog_ack", T_ERRLOG_ACK, [
+        Field("ok", "u8"),
+    ]),
+    StructDef("proctl_relocate", T_PROCTL_RELOCATE, [
+        Field("module", "char[64]"),
+        Field("target_machine", "char[64]"),
+    ]),
+    StructDef("proctl_ack", T_PROCTL_ACK, [
+        Field("ok", "u8"),
+        Field("detail", "char[96]"),
+    ]),
+]
+
+
+def register_drts_types(registry: ConversionRegistry) -> None:
+    """Install the DRTS wire structures into a registry."""
+    for sdef in _STRUCTS:
+        registry.register(sdef)

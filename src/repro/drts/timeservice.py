@@ -1,0 +1,124 @@
+"""The precision time corrector (paper Secs. 1.3, 6.1, ref [27]).
+
+Machines' local clocks drift and sit at arbitrary offsets
+(:mod:`repro.machine.clock`).  A :class:`TimeServer` module holds the
+reference clock; each instrumented module's :class:`TimeClient`
+estimates its own clock error with a Cristian-style exchange (send
+local time, receive server time, subtract half the round trip) and
+serves corrected timestamps to the Nucleus.
+
+Sec. 6.1's recursion scenario runs through here: an LCM send asks for a
+timestamp, which "may recursively call on the ComMod to communicate
+with its support module.  If this is the first such communication, it
+will call the resource location primitives to locate the module,
+invoking the ComMod recursively again."  Resynchronisations are
+rate-limited by ``refresh_interval``, matching "time service data
+communication only occurs periodically" (Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.commod import ComMod
+from repro.errors import NtcsError
+from repro.ntcs.address import Address
+from repro.ntcs.lcm import IncomingMessage
+
+TIME_SERVER_NAME = "drts.time"
+
+
+class TimeServer:
+    """The reference clock module: answers time requests with its local
+    clock, assumed authoritative (give its machine zero offset/drift,
+    or accept its error as the reference)."""
+
+    def __init__(self, commod: ComMod, name: str = TIME_SERVER_NAME):
+        self.commod = commod
+        self.name = name
+        self.requests_served = 0
+        commod.ali.register(name, attrs={"kind": "time"})
+        commod.ali.set_request_handler(self._on_request)
+
+    def _on_request(self, message: IncomingMessage) -> None:
+        if message.type_name != "time_request" or not message.reply_expected:
+            return
+        self.requests_served += 1
+        self.commod.ali.reply(message, "time_reply", {
+            "client_send": message.values["client_send"],
+            "server_time": self.commod.nucleus.machine.clock.now(),
+        })
+
+
+class TimeClient:
+    """The per-module corrector, installed as ``nucleus.time_client``."""
+
+    def __init__(self, nucleus, time_server_name: str = TIME_SERVER_NAME,
+                 refresh_interval: float = 60.0):
+        self.nucleus = nucleus
+        self.time_server_name = time_server_name
+        self.refresh_interval = refresh_interval
+        self._server_uadd: Optional[Address] = None
+        self.offset = 0.0
+        self._last_sync: Optional[float] = None
+        self.syncs = 0
+        self.sync_failures = 0
+
+    # -- the Nucleus-facing API -----------------------------------------------
+
+    def corrected_now(self) -> float:
+        """The corrected local time; resynchronises first when stale —
+        the recursive path of Sec. 6.1."""
+        nucleus = self.nucleus
+        if self._needs_sync():
+            self._sync()
+        return nucleus.machine.clock.now() + self.offset
+
+    def _needs_sync(self) -> bool:
+        if self._last_sync is None:
+            return True
+        return (self.nucleus.scheduler.now - self._last_sync) >= self.refresh_interval
+
+    def _sync(self) -> None:
+        nucleus = self.nucleus
+        clock = nucleus.machine.clock
+        with nucleus.suppress_services():
+            with nucleus.enter("TIME", "sync", caller="LCM",
+                               reason="timestamp requested"):
+                try:
+                    if self._server_uadd is None:
+                        self._server_uadd = nucleus.require_nsp().resolve_name(
+                            self.time_server_name
+                        )
+                    t0 = clock.now()
+                    reply = nucleus.lcm.call(
+                        self._server_uadd, "time_request",
+                        {"client_send": t0},
+                    )
+                    t1 = clock.now()
+                except NtcsError:
+                    self.sync_failures += 1
+                    self._server_uadd = None
+                    # Keep the stale offset; better than nothing.
+                    self._last_sync = nucleus.scheduler.now
+                    return
+        round_trip = t1 - t0
+        server_at_receipt = reply.values["server_time"] + round_trip / 2.0
+        self.offset = server_at_receipt - t1
+        self._last_sync = nucleus.scheduler.now
+        self.syncs += 1
+
+    def estimated_error(self) -> float:
+        """Residual error of corrected time vs true simulation time."""
+        nucleus = self.nucleus
+        return (nucleus.machine.clock.now() + self.offset) - nucleus.scheduler.now
+
+
+def enable_time_correction(commod: ComMod,
+                           time_server_name: str = TIME_SERVER_NAME,
+                           refresh_interval: float = 60.0) -> TimeClient:
+    """Instrument one module: Nucleus timestamps become corrected."""
+    client = TimeClient(commod.nucleus, time_server_name, refresh_interval)
+    commod.nucleus.time_client = client
+    commod.nucleus.config.time_enabled = True
+    return client

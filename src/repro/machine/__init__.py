@@ -1,0 +1,26 @@
+"""Simulated heterogeneous machines.
+
+The paper's testbed mixed Apollo, VAX and Sun systems — machines that
+disagree about byte order, which is the entire reason the data-conversion
+machinery of Sec. 5 exists.  This package models machine *types* with
+real data-format attributes (:mod:`arch`), machines with drifting local
+clocks (:mod:`machine`, :mod:`clock`), and the processes that run on
+them (:mod:`process`).
+"""
+
+from repro.machine.arch import MachineType, VAX, SUN3, APOLLO, IBM_PC, list_machine_types
+from repro.machine.clock import LocalClock
+from repro.machine.machine import Machine
+from repro.machine.process import SimProcess
+
+__all__ = [
+    "MachineType",
+    "VAX",
+    "SUN3",
+    "APOLLO",
+    "IBM_PC",
+    "list_machine_types",
+    "LocalClock",
+    "Machine",
+    "SimProcess",
+]

@@ -1,0 +1,85 @@
+"""Machine architectures and data-format compatibility.
+
+Sec. 5 of the paper: "the byte ordering of long integers differs between
+the VAX and the Sun systems", and the NTCS picks *image mode* between
+identical machines and *packed mode* between incompatible ones, "based
+on the source and destination machine types".
+
+A :class:`MachineType` therefore carries the attributes that determine
+in-memory data layout: byte order, word size, and character set.  Two
+machine types are *image-compatible* when those attributes coincide —
+e.g. Sun-3 and Apollo (both MC68000-family, big-endian) exchange images,
+while VAX↔Sun must pack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class MachineType:
+    """An architecture, as far as data representation is concerned.
+
+    Attributes:
+        name: the marketing name ("VAX", "Sun-3", ...).
+        byte_order: "little" or "big" — struct-module byte order.
+        word_size: size of a C ``long`` in bytes.
+        charset: character encoding; the paper notes the NTCS "guarantees
+            correct character representation across machines (reasonable
+            since most all are the same)" — everything here is ASCII.
+    """
+
+    name: str
+    byte_order: str
+    word_size: int = 4
+    charset: str = "ascii"
+
+    def __post_init__(self):
+        if self.byte_order not in ("little", "big"):
+            raise ValueError(f"byte_order must be 'little' or 'big', not {self.byte_order!r}")
+
+    @property
+    def data_format(self) -> str:
+        """Canonical tag of the in-memory data layout.  Equal tags mean
+        a raw byte copy of a struct is interpreted identically."""
+        return f"{self.byte_order}-{self.word_size * 8}-{self.charset}"
+
+    def image_compatible(self, other: "MachineType") -> bool:
+        """True when image mode (plain byte copy) is safe between the two
+        machine types — the paper's "identical machines" test."""
+        return self.data_format == other.data_format
+
+    @property
+    def struct_prefix(self) -> str:
+        """The :mod:`struct` byte-order prefix for this architecture."""
+        return "<" if self.byte_order == "little" else ">"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# The paper's testbed, plus one extra little-endian micro so that the
+# compatibility relation has more than one member per class.
+VAX = MachineType(name="VAX", byte_order="little")
+SUN3 = MachineType(name="Sun-3", byte_order="big")
+APOLLO = MachineType(name="Apollo", byte_order="big")
+IBM_PC = MachineType(name="IBM-PC", byte_order="little")
+
+_REGISTRY: Dict[str, MachineType] = {
+    mt.name: mt for mt in (VAX, SUN3, APOLLO, IBM_PC)
+}
+
+
+def list_machine_types() -> List[MachineType]:
+    """All built-in machine types, in a stable order."""
+    return [VAX, SUN3, APOLLO, IBM_PC]
+
+
+def machine_type(name: str) -> MachineType:
+    """Look a built-in machine type up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown machine type {name!r}; known: {sorted(_REGISTRY)}")

@@ -1,0 +1,37 @@
+"""Per-machine local clocks with offset and drift.
+
+The URSA project built a "precision time corrector" on top of the NTCS
+(Sec. 1.3, [27]), which the NTCS itself then used for monitor
+timestamps — one of the recursion sources of Sec. 6.1.  For that service
+to be reproducible there must be something to correct: each machine's
+clock reads ``true_time * (1 + drift) + offset``.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.scheduler import Scheduler
+
+
+class LocalClock:
+    """A drifting, offset local clock derived from the virtual true time.
+
+    Args:
+        scheduler: source of true (simulation) time.
+        offset: constant error in seconds.
+        drift: fractional rate error (1e-5 is 10 ppm — a realistic
+            quartz oscillator).
+    """
+
+    def __init__(self, scheduler: Scheduler, offset: float = 0.0, drift: float = 0.0):
+        self._scheduler = scheduler
+        self.offset = offset
+        self.drift = drift
+
+    def now(self) -> float:
+        """The machine's local wall-clock reading."""
+        true = self._scheduler.now
+        return true * (1.0 + self.drift) + self.offset
+
+    def error(self) -> float:
+        """Current deviation from true time (what the corrector fights)."""
+        return self.now() - self._scheduler.now

@@ -1,0 +1,115 @@
+"""Simulated machines: the hosts that processes and IPCSs live on."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.machine.arch import MachineType
+from repro.machine.clock import LocalClock
+from repro.netsim.network import Interface, Network
+from repro.netsim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.machine.process import SimProcess
+
+
+class Machine:
+    """One computer: a machine type, a local clock, network attachments,
+    native IPCS instances, and the processes running on it.
+
+    A machine may attach to several networks (that is what makes gateway
+    hosts possible), and runs one native IPCS per attached network —
+    mirroring the paper's Fig. 2-2 gateway host with one ND-Layer per
+    network.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        mtype: MachineType,
+        clock_offset: float = 0.0,
+        clock_drift: float = 0.0,
+    ):
+        self.scheduler = scheduler
+        self.name = name
+        self.mtype = mtype
+        self.clock = LocalClock(scheduler, offset=clock_offset, drift=clock_drift)
+        self._interfaces: Dict[str, Interface] = {}  # network name -> interface
+        self._ipcs: Dict[str, object] = {}  # "network/protocol" -> IPCS instance
+        self.processes: List["SimProcess"] = []
+        self.alive = True
+
+    # -- networking -------------------------------------------------------
+
+    def attach_network(self, network: Network, host: Optional[str] = None) -> Interface:
+        """Attach this machine to ``network``; its host address defaults
+        to the machine name."""
+        if network.name in self._interfaces:
+            raise SimulationError(f"{self.name} already attached to {network.name}")
+        iface = network.attach(host or self.name)
+        self._interfaces[network.name] = iface
+        return iface
+
+    def interface(self, network_name: str) -> Interface:
+        """The machine's interface on one network; raises if detached."""
+        try:
+            return self._interfaces[network_name]
+        except KeyError:
+            raise SimulationError(
+                f"machine {self.name!r} is not attached to network {network_name!r}"
+            )
+
+    @property
+    def networks(self) -> List[str]:
+        """Names of the networks this machine is attached to."""
+        return list(self._interfaces)
+
+    # -- IPCS registry ----------------------------------------------------
+
+    def register_ipcs(self, network_name: str, protocol: str, ipcs: object) -> None:
+        """Register a native IPCS instance for (network, protocol)."""
+        key = f"{network_name}/{protocol}"
+        if key in self._ipcs:
+            raise SimulationError(f"IPCS {key} already registered on {self.name}")
+        self._ipcs[key] = ipcs
+
+    def ipcs_for(self, network_name: str, protocol: str):
+        """The native IPCS serving ``protocol`` on ``network_name``."""
+        key = f"{network_name}/{protocol}"
+        try:
+            return self._ipcs[key]
+        except KeyError:
+            raise SimulationError(f"no IPCS {key} on machine {self.name!r}")
+
+    def ipcs_instances(self) -> List[object]:
+        """Every native IPCS instance on this machine."""
+        return list(self._ipcs.values())
+
+    def ipcs_on(self, network_name: str) -> List[object]:
+        """All native IPCS instances serving one network (usually one)."""
+        prefix = f"{network_name}/"
+        return [ipcs for key, ipcs in sorted(self._ipcs.items())
+                if key.startswith(prefix)]
+
+    # -- processes ----------------------------------------------------------
+
+    def adopt(self, process: "SimProcess") -> None:
+        """Track a process as running on this machine."""
+        self.processes.append(process)
+
+    def crash(self) -> None:
+        """Kill the whole machine: every process dies, every interface
+        goes down.  Interfaces drop first so that dying processes cannot
+        get any farewell traffic (e.g. deregistrations) onto the wire —
+        a crash is abrupt."""
+        self.alive = False
+        for iface in self._interfaces.values():
+            iface.up = False
+        for process in list(self.processes):
+            if process.alive:
+                process.kill()
+
+    def __repr__(self) -> str:
+        return f"Machine({self.name!r}, {self.mtype.name}, nets={self.networks})"

@@ -1,0 +1,62 @@
+"""Simulated processes.
+
+A :class:`SimProcess` is the unit of distribution in the paper's model
+("distributed at the process level", Sec. 1): application modules, the
+Name Server, Gateways, and DRTS services are all processes.  A process
+owns communication resources (IPCS endpoints) that are torn down when it
+is killed — which is how the rest of the system *finds out* it died
+(the ND-Layer of connected modules sees the channel close, Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.machine.machine import Machine
+from repro.util.idgen import SequenceGenerator
+
+_pids = SequenceGenerator()
+
+
+class SimProcess:
+    """One process on one machine.
+
+    Cleanup callbacks registered with :meth:`at_kill` run when the
+    process dies (endpoint closure, naming-service deregistration, ...).
+    """
+
+    def __init__(self, machine: Machine, name: str):
+        self.machine = machine
+        self.name = name
+        self.pid = _pids.next()
+        self.alive = True
+        self._kill_hooks: List[Callable[[], None]] = []
+        machine.adopt(self)
+
+    @property
+    def scheduler(self):
+        return self.machine.scheduler
+
+    def at_kill(self, hook: Callable[[], None]) -> None:
+        """Register a cleanup hook to run when the process is killed."""
+        self._kill_hooks.append(hook)
+
+    def kill(self) -> None:
+        """Terminate the process: run cleanup hooks (newest first), mark
+        dead.  Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        for hook in reversed(self._kill_hooks):
+            hook()
+        self._kill_hooks.clear()
+        if self in self.machine.processes:
+            self.machine.processes.remove(self)
+
+    def check_alive(self) -> bool:
+        """True while the process has not been killed."""
+        return self.alive
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"SimProcess({self.name!r} pid={self.pid} on {self.machine.name}, {state})"

@@ -1,0 +1,156 @@
+"""The Name Service Protocol Layer (paper Sec. 2.4).
+
+"The NSP-Layer is the single naming service access point for all layers
+within the ComMod.  Its purpose is to fully isolate the ComMod from the
+naming service implementation."
+
+Everything here is a thin client over ordinary Nucleus communication —
+"the NSP-layers talk across multiple networks in the identical manner
+as application modules do" (Sec. 3.1).  Swapping the implementation
+(single server → replicated) only changes which class the ComMod
+constructs; callers see the same methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ModuleStillAlive,
+    NoForwardingAddress,
+    NoSuchAddress,
+    NoSuchName,
+    NtcsError,
+    ProtocolError,
+)
+from repro.naming import protocol as p
+from repro.naming.protocol import NameRecord
+from repro.ntcs.address import Address
+from repro.ntcs.lcm import IncomingMessage
+from repro.ntcs.message import FLAG_INTERNAL
+
+
+class NspLayer:
+    """Client stub for the single-Name-Server implementation."""
+
+    LAYER = "NSP"
+
+    def __init__(self, nucleus, ns_uadd: Optional[Address] = None):
+        self.nucleus = nucleus
+        self.ns_uadd = ns_uadd or nucleus.wellknown.ns_uadd
+
+    # -- transport ------------------------------------------------------------
+
+    def _call(self, type_name: str, values: dict, reason: str,
+              timeout: Optional[float] = None) -> IncomingMessage:
+        nucleus = self.nucleus
+        with nucleus.enter(self.LAYER, type_name, reason=reason):
+            nucleus.counters.incr("nsp_calls")
+            return nucleus.lcm.call(
+                self.ns_uadd, type_name, values,
+                timeout=timeout, flags=FLAG_INTERNAL,
+            )
+
+    # -- the naming-service operations ----------------------------------------
+
+    def register(
+        self,
+        name: str,
+        attrs: Dict[str, str],
+        addresses: List[Tuple[str, str]],
+        mtype_name: str,
+    ) -> Address:
+        """Register a module; returns its freshly generated UAdd."""
+        reply = self._call("ns_register", {
+            "name": name,
+            "mtype": mtype_name,
+            "payload": p.encode_register_payload(attrs or {}, addresses),
+        }, reason=f"register {name!r}")
+        self._expect(reply, "ns_register_ack")
+        return Address(value=reply.values["uadd"])
+
+    def resolve_name(self, name: str) -> Address:
+        """Logical name → UAdd (the first of the two mappings,
+        Sec. 3.3)."""
+        reply = self._call("ns_resolve_name", {"name": name},
+                           reason=f"resolve {name!r}")
+        self._expect(reply, "ns_resolve_name_ack")
+        if not reply.values["found"]:
+            raise NoSuchName(f"no module registered as {name!r}")
+        return Address(value=reply.values["uadd"])
+
+    def resolve_uadd(self, uadd: Address) -> NameRecord:
+        """UAdd → physical location record (the second mapping)."""
+        reply = self._call("ns_resolve_uadd", {"uadd": uadd.value},
+                           reason=f"locate {uadd}")
+        self._expect(reply, "ns_record_ack")
+        if not reply.values["found"]:
+            raise NoSuchAddress(f"naming service has no entry for {uadd}")
+        records = p.decode_records(reply.values["record"])
+        if len(records) != 1:
+            raise ProtocolError("ns_record_ack carried != 1 record")
+        return records[0]
+
+    def lookup_forwarding(self, old_uadd: Address) -> Address:
+        """Ask for a forwarding UAdd after an address fault (Sec. 3.5)."""
+        reply = self._call("ns_forward", {"uadd": old_uadd.value},
+                           reason=f"forwarding for {old_uadd}")
+        self._expect(reply, "ns_forward_ack")
+        status = reply.values["status"]
+        if status == p.FWD_FOUND:
+            return Address(value=reply.values["new_uadd"])
+        if status == p.FWD_ALIVE:
+            raise ModuleStillAlive(f"{old_uadd} is still active")
+        raise NoForwardingAddress(f"no replacement module for {old_uadd}")
+
+    def deregister(self, uadd: Address) -> bool:
+        """Tombstone a UAdd in the naming service; True on success."""
+        reply = self._call("ns_deregister", {"uadd": uadd.value},
+                           reason=f"deregister {uadd}")
+        self._expect(reply, "ns_ack")
+        return bool(reply.values["ok"])
+
+    def list_gateways(self) -> List[NameRecord]:
+        """The registered gateway records (routing topology, Sec. 4.2)."""
+        reply = self._call("ns_list_gw", {}, reason="topology")
+        self._expect(reply, "ns_list_gw_ack")
+        return p.decode_records(reply.values["records"])
+
+    def query_attrs(self, required: Dict[str, str]) -> List[NameRecord]:
+        """Attribute-based resource location (Sec. 7's new scheme)."""
+        reply = self._call("ns_query_attrs", {
+            "query": p.encode_attrs(required).encode("ascii"),
+        }, reason="attribute query")
+        self._expect(reply, "ns_query_attrs_ack")
+        return p.decode_records(reply.values["records"])
+
+    def query_predicates(self, query_text: str) -> List[NameRecord]:
+        """Predicate-based location ("kind=index;shard<=3") — served by
+        Name Servers running the attribute database extension."""
+        reply = self._call("ns_query_attrs", {
+            "query": query_text.encode("ascii"),
+        }, reason="predicate query")
+        self._expect(reply, "ns_query_attrs_ack")
+        return p.decode_records(reply.values["records"])
+
+    def ping(self, timeout: float = 2.0) -> bool:
+        """Is the naming service answering?"""
+        try:
+            reply = self._call("ns_ping", {}, reason="ping", timeout=timeout)
+        except NtcsError:
+            return False
+        return reply.type_name == "ns_ack" and bool(reply.values["ok"])
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _expect(reply: IncomingMessage, type_name: str) -> None:
+        if reply.type_name == type_name:
+            return
+        if reply.type_name == "ns_ack" and not reply.values.get("ok", 1):
+            raise ProtocolError(
+                f"naming service error: {reply.values.get('detail', '')}"
+            )
+        raise ProtocolError(
+            f"expected {type_name}, naming service sent {reply.type_name}"
+        )

@@ -1,0 +1,167 @@
+"""The replicated naming service (paper Sec. 7).
+
+"[the naming service implementation] will be replicated for failure
+resiliency.  ... The database could ... be partially distributed across
+two or more such modules ... without affecting the rest of the NTCS.
+This flexibility is a direct result of having built this service on top
+of the Nucleus, and of isolating it with the NSP-Layer."
+
+Design, per the paper's hints:
+
+* each server's database generates UAdds with "a unique Name Server
+  identifier ... appended" (Sec. 3.2), so servers never collide,
+* every write (register/deregister) is propagated to the peer servers
+  over the NTCS's own connectionless protocol (last write wins; the
+  paper predates stronger replication and so do we),
+* the :class:`ReplicatedNspLayer` drop-in fails over between servers,
+  priming the module's address tables with every server's well-known
+  blob — the Sec. 3.4 bootstrap, extended to a set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DestinationUnavailable,
+    NameServerUnreachable,
+    NtcsError,
+    ReplyTimeout,
+)
+from repro.naming import protocol as p
+from repro.naming.protocol import NameRecord
+from repro.naming.server import NameServer
+from repro.naming.nsp import NspLayer
+from repro.ntcs.address import Address
+from repro.ntcs.lcm import IncomingMessage
+from repro.ntcs.message import FLAG_INTERNAL
+
+
+class ReplicatedNameServer(NameServer):
+    """One member of a replicated naming service."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.peer_uadds: List[Address] = []
+        self._handlers["ns_repl_update"] = self._handle_repl_update
+        self.updates_sent = 0
+        self.updates_applied = 0
+
+    def set_peers(self, peers: Sequence[Address]) -> None:
+        """Tell this server which peer UAdds to replicate to."""
+        self.peer_uadds = [u for u in peers if u != self.uadd]
+
+    def _replicate(self, op: str, record: NameRecord) -> None:
+        for peer in self.peer_uadds:
+            if self.nucleus.lcm.datagram(peer, "ns_repl_update", {
+                "op": op,
+                "record": p.encode_records([record]),
+            }, flags=FLAG_INTERNAL):
+                self.updates_sent += 1
+
+    def _handle_repl_update(self, request: IncomingMessage):
+        records = p.decode_records(request.values["record"])
+        op = request.values["op"]
+        for record in records:
+            if op == "deregister":
+                record.alive = False
+            self.db.adopt(record)
+            self.updates_applied += 1
+        return "ns_ack", {"ok": 1, "detail": ""}
+
+
+class ReplicatedNspLayer(NspLayer):
+    """NSP-Layer with server failover — a drop-in for
+    :class:`~repro.naming.nsp.NspLayer`, proving the paper's claim that
+    the implementation can change "with no direct impact on the NTCS"."""
+
+    def __init__(self, nucleus,
+                 servers: Sequence[Tuple[Address, str, str]]):
+        """``servers``: [(uadd, listen_blob, mtype_name)] in preference
+        order; the first is the conventional primary."""
+        if not servers:
+            raise NtcsError("a replicated NSP needs at least one server")
+        super().__init__(nucleus, ns_uadd=servers[0][0])
+        self.servers = [uadd for uadd, _, _ in servers]
+        # The LCM's Sec. 6.3 patch must treat every replica as "the
+        # naming service" or the runaway recursion returns via replicas.
+        nucleus.ns_addresses.update(self.servers)
+        # Load every server's well-known address into this module's
+        # tables (Sec. 3.4, generalized).
+        for uadd, blob, mtype_name in servers:
+            if blob:
+                nucleus.addr_cache.store(uadd, blob, mtype_name)
+        self._current = 0
+        self.failovers = 0
+
+    def _call(self, type_name: str, values: dict, reason: str,
+              timeout: Optional[float] = None) -> IncomingMessage:
+        nucleus = self.nucleus
+        with nucleus.enter(self.LAYER, type_name, reason=reason):
+            nucleus.counters.incr("nsp_calls")
+            last_error: Optional[Exception] = None
+            for i in range(len(self.servers)):
+                index = (self._current + i) % len(self.servers)
+                target = self.servers[index]
+                try:
+                    reply = nucleus.lcm.call(
+                        target, type_name, values,
+                        timeout=timeout, flags=FLAG_INTERNAL,
+                    )
+                except (NameServerUnreachable, DestinationUnavailable,
+                        ReplyTimeout) as exc:
+                    last_error = exc
+                    if i + 1 < len(self.servers):
+                        self.failovers += 1
+                    continue
+                self._current = index
+                return reply
+            raise NameServerUnreachable(
+                f"all {len(self.servers)} naming servers failed: {last_error}"
+            )
+
+
+def deploy_replicated_naming(testbed, machine_names: Sequence[str]):
+    """Start one :class:`ReplicatedNameServer` per machine, wire the
+    replication mesh, and make every future ``testbed.module(...)`` use
+    a failover NSP.  Returns the server list (element 0 is primary and
+    becomes ``testbed.name_server_instance``)."""
+    from dataclasses import replace as _replace
+    from repro.machine.process import SimProcess
+    from repro.naming.database import NameDatabase
+
+    servers: List[ReplicatedNameServer] = []
+    for server_id, machine_name in enumerate(machine_names):
+        machine = testbed.machines[machine_name]
+        network = machine.networks[0]
+        protocol = testbed.networks[network].protocol
+        binding = ("411" if protocol == "tcp" else "/mbx/name.server")
+        process = SimProcess(machine, f"name.server.{server_id}")
+        db = NameDatabase(server_id=server_id,
+                          clock=lambda: testbed.scheduler.now)
+        server = ReplicatedNameServer(
+            process, testbed.registry, testbed.wellknown,
+            network=network, binding=binding,
+            config=_replace(testbed.config), db=db,
+            name=f"name.server.{server_id}",
+        )
+        servers.append(server)
+        if server_id == 0:
+            testbed.wellknown.add_name_server_blob(server.listen_blob)
+            testbed.name_server_instance = server
+    all_uadds = [s.uadd for s in servers]
+    directory = [(s.uadd, s.listen_blob, s.process.machine.mtype.name)
+                 for s in servers]
+    for server in servers:
+        server.set_peers(all_uadds)
+        # Each server knows its peers' well-known addresses and records
+        # — the Sec. 3.4 bootstrap table, extended to the replica set.
+        for uadd, blob, mtype_name in directory:
+            if uadd != server.uadd:
+                server.nucleus.addr_cache.store(uadd, blob, mtype_name)
+        for other in servers:
+            if other is not server:
+                for record in other.db.all_records():
+                    server.db.adopt(record)
+    testbed.nsp_factory = lambda nucleus: ReplicatedNspLayer(nucleus, directory)
+    return servers

@@ -1,0 +1,175 @@
+"""Simulated networks and host interfaces.
+
+A :class:`Network` is one physical communication medium — the stand-in
+for an Ethernet segment or the Apollo ring.  Machines attach through
+:class:`Interface` objects with network-unique host addresses.  The
+network delivers :class:`Datagram` frames between interfaces with a
+fixed per-network latency, subject to the attached
+:class:`~repro.netsim.faults.FaultPlan`.
+
+Networks are deliberately *disjoint*: an interface can only reach other
+interfaces on the same network.  Crossing networks is exactly what the
+paper's IP-Layer + Gateways exist for (Sec. 4), so the substrate must
+not accidentally provide it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import NetworkUnreachable, SimulationError
+from repro.netsim.faults import FaultPlan
+from repro.netsim.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One frame on the wire.
+
+    ``protocol`` names the IPCS that should receive it ("tcp", "mbx");
+    ``payload`` is whatever that IPCS puts on the wire (its own framing;
+    NTCS bytes ride inside).
+    """
+
+    network: str
+    src_host: str
+    dst_host: str
+    protocol: str
+    payload: Any
+
+
+class Interface:
+    """One machine's attachment point to one network."""
+
+    def __init__(self, network: "Network", host: str):
+        self.network = network
+        self.host = host
+        self._handlers: Dict[str, Callable[[Datagram], None]] = {}
+        self.up = True
+
+    def bind_protocol(self, protocol: str, handler: Callable[[Datagram], None]) -> None:
+        """Register the per-protocol receive handler (one per IPCS)."""
+        if protocol in self._handlers:
+            raise SimulationError(
+                f"protocol {protocol!r} already bound on {self.host}@{self.network.name}"
+            )
+        self._handlers[protocol] = handler
+
+    def unbind_protocol(self, protocol: str) -> None:
+        """Remove a protocol's receive handler."""
+        self._handlers.pop(protocol, None)
+
+    def send(self, dst_host: str, protocol: str, payload: Any,
+             size: Optional[int] = None) -> None:
+        """Transmit one datagram to another host on this network.
+        ``size`` (bytes) feeds the bandwidth model; None means
+        header-only (a small control frame)."""
+        if not self.up:
+            return  # a downed interface silently loses frames
+        self.network.transmit(
+            Datagram(
+                network=self.network.name,
+                src_host=self.host,
+                dst_host=dst_host,
+                protocol=protocol,
+                payload=payload,
+            ),
+            size=size,
+        )
+
+    def deliver(self, datagram: Datagram) -> None:
+        """Called by the network when a frame arrives for this host."""
+        if not self.up:
+            return
+        handler = self._handlers.get(datagram.protocol)
+        if handler is not None:
+            handler(datagram)
+        # No handler: the frame is dropped, as a real stack would discard
+        # a segment for a protocol nobody registered.
+
+
+class Network:
+    """A single, isolated communication medium.
+
+    Args:
+        scheduler: the global event scheduler.
+        name: the logical network identifier (what the naming service
+            stores as a module's network id).
+        latency: one-way frame latency in virtual seconds.
+        fault_seed: seed for the probabilistic fault generator.
+    """
+
+    #: Assumed size of a control frame when the sender gives no size.
+    DEFAULT_FRAME_SIZE = 64
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str,
+        latency: float = 0.001,
+        bandwidth: Optional[float] = None,
+        fault_seed: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.name = name
+        self.latency = latency
+        # Bytes per virtual second; None models an infinitely fast wire
+        # (latency only).  With a bandwidth, a frame's delivery delay is
+        # latency + size / bandwidth — so packed mode's character-format
+        # expansion (Sec. 5.2) costs measurable wire time.
+        self.bandwidth = bandwidth
+        self.faults = FaultPlan(seed=fault_seed)
+        self._interfaces: Dict[str, Interface] = {}
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.bytes_sent = 0
+
+    def attach(self, host: str) -> Interface:
+        """Attach a new host; returns its interface."""
+        if host in self._interfaces:
+            raise SimulationError(f"host {host!r} already attached to {self.name}")
+        iface = Interface(self, host)
+        self._interfaces[host] = iface
+        return iface
+
+    def detach(self, host: str) -> None:
+        """Remove a host from the network (its interface goes down)."""
+        iface = self._interfaces.pop(host, None)
+        if iface is not None:
+            iface.up = False
+
+    def interface(self, host: str) -> Optional[Interface]:
+        """The interface of one host, or None."""
+        return self._interfaces.get(host)
+
+    def hosts(self):
+        """All attached host addresses."""
+        return list(self._interfaces)
+
+    def transmit(self, datagram: Datagram, size: Optional[int] = None) -> None:
+        """Schedule delivery of one frame after latency (plus the
+        serialization delay when a bandwidth is configured)."""
+        if datagram.dst_host not in self._interfaces:
+            raise NetworkUnreachable(
+                f"no host {datagram.dst_host!r} on network {self.name!r}"
+            )
+        size = size if size is not None else self.DEFAULT_FRAME_SIZE
+        self.frames_sent += 1
+        self.bytes_sent += size
+        if self.faults.should_drop(datagram.src_host, datagram.dst_host):
+            return
+        dst = self._interfaces[datagram.dst_host]
+        delay = self.latency
+        if self.bandwidth:
+            delay += size / self.bandwidth
+
+        def deliver():
+            self.frames_delivered += 1
+            dst.deliver(datagram)
+
+        self.scheduler.schedule(
+            delay,
+            deliver,
+            note=f"{self.name}:{datagram.src_host}->{datagram.dst_host}",
+        )

@@ -1,0 +1,225 @@
+"""Reentrant discrete-event scheduler with a virtual clock.
+
+Every asynchronous action in the reproduction — a datagram in flight, a
+channel-close detection delay, a periodic time-service refresh — is an
+:class:`Event` on one global :class:`Scheduler`.
+
+The essential property is **reentrancy**.  The paper's Nucleus is
+passive: a module's send blocks until complete, and while it is blocked
+the rest of the distributed system keeps running (the Name Server
+answers, gateways splice circuits, the monitor collects data).  Here a
+blocking call is :meth:`Scheduler.pump_until`: it pops and runs queued
+events until its predicate holds.  A handler run by the pump may itself
+call ``pump_until`` — a nested, deeper pump over the same queue.  That
+is exactly the recursive control structure of Sec. 6 of the paper, and
+it is what lets a Name-Server request issued *from inside* a send be
+served before the send completes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import DeadlockError, SimulationError, VirtualTimeout
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Scheduler.schedule` so
+    callers can cancel it.  Ordered by (time, sequence) for determinism.
+    """
+
+    __slots__ = ("time", "seq", "callback", "note", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], note: str):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.note = note
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call twice."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state}, note={self.note!r})"
+
+
+class Scheduler:
+    """The global event queue and virtual clock.
+
+    Args:
+        max_events: hard ceiling on total events processed, a backstop
+            against runaway feedback loops (the reproduction's analogue
+            of a hung testbed).
+    """
+
+    def __init__(self, max_events: int = 5_000_000):
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+        self._max_events = max_events
+        self._pump_depth = 0
+        self.max_pump_depth_seen = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pump_depth(self) -> int:
+        """How many nested blocking pumps are currently active."""
+        return self._pump_depth
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None], note: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        event = Event(self._now + delay, self._seq, callback, note)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, callback: Callable[[], None], note: str = "") -> Event:
+        """Schedule ``callback`` at the current virtual time (after any
+        already-queued events at this time)."""
+        return self.schedule(0.0, callback, note)
+
+    # -- execution --------------------------------------------------------
+
+    def _pop_runnable(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if queue empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def _run(self, event: Event) -> None:
+        if event.time < self._now:
+            raise SimulationError(
+                f"event time {event.time} precedes clock {self._now}"
+            )
+        self._now = event.time
+        self._processed += 1
+        if self._processed > self._max_events:
+            raise SimulationError(
+                f"event budget exceeded ({self._max_events}); "
+                "probable runaway feedback loop"
+            )
+        event.callback()
+
+    def step(self) -> bool:
+        """Run the single earliest pending event.  Returns False when the
+        queue is empty."""
+        event = self._pop_runnable()
+        if event is None:
+            return False
+        self._run(event)
+        return True
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains; returns how many ran."""
+        ran = 0
+        while max_events is None or ran < max_events:
+            if not self.step():
+                break
+            ran += 1
+        return ran
+
+    def run_for(self, duration: float) -> int:
+        """Run events whose time is within ``duration`` from now, then
+        advance the clock to exactly now + duration.  Returns the number
+        of events run."""
+        deadline = self._now + duration
+        ran = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            heapq.heappop(self._queue)
+            self._run(head)
+            ran += 1
+        self._now = max(self._now, deadline)
+        return ran
+
+    def pump_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        what: str = "",
+    ) -> bool:
+        """Block (in simulation terms) until ``predicate()`` is true.
+
+        Runs queued events — possibly reentrantly, from inside another
+        pump — until the predicate holds.  Returns True on success.
+
+        With a ``timeout`` (virtual seconds from now), the clock is
+        advanced to the deadline and False is returned if the predicate
+        never held.  Without one, an empty queue with a false predicate
+        raises :class:`DeadlockError`, since no future event could ever
+        change the outcome.
+        """
+        deadline = None if timeout is None else self._now + timeout
+        self._pump_depth += 1
+        self.max_pump_depth_seen = max(self.max_pump_depth_seen, self._pump_depth)
+        try:
+            while True:
+                if predicate():
+                    return True
+                event = self._pop_runnable()
+                if event is None:
+                    if deadline is not None:
+                        self._now = max(self._now, deadline)
+                        return False
+                    raise DeadlockError(
+                        f"pump_until({what or 'predicate'}): event queue empty "
+                        "and predicate false — nothing can unblock this call"
+                    )
+                if deadline is not None and event.time > deadline:
+                    # Put it back: it belongs to whoever pumps next.
+                    heapq.heappush(self._queue, event)
+                    self._now = deadline
+                    return False
+                self._run(event)
+        finally:
+            self._pump_depth -= 1
+
+    def wait(self, duration: float) -> None:
+        """Blockingly let ``duration`` virtual seconds elapse, running any
+        events that fall inside the window (a pump with an always-false
+        predicate)."""
+        ok = self.pump_until(lambda: False, timeout=duration, what="wait")
+        if ok:  # pragma: no cover - predicate is constant False
+            raise SimulationError("wait() predicate unexpectedly true")
+
+    def sleep_until(self, when: float) -> None:
+        """Blockingly advance virtual time to ``when`` (no-op if past)."""
+        if when > self._now:
+            self.wait(when - self._now)
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def raise_timeout(self, what: str) -> None:
+        """Helper for callers that want the raising flavour of timeout."""
+        raise VirtualTimeout(what)

@@ -1,0 +1,90 @@
+"""A wire sniffer: records every frame delivered on a network.
+
+The Sec. 6.2 debugging discussion asks for visibility into what the
+system is actually doing; a :class:`Sniffer` gives the wire-level view
+the layer tracer cannot.  Tests also use it to check *wire-level*
+claims — e.g. that bodies between unlike machines really travel in the
+character transport format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.netsim.network import Datagram, Network
+
+
+@dataclass(frozen=True)
+class SniffedFrame:
+    time: float
+    network: str
+    src_host: str
+    dst_host: str
+    protocol: str
+    payload: object
+
+
+class Sniffer:
+    """Wiretap on one network.  Attach with :meth:`attach`; every frame
+    *delivered* (not dropped) is recorded."""
+
+    def __init__(self, keep: Optional[Callable[[Datagram], bool]] = None):
+        self.frames: List[SniffedFrame] = []
+        self._keep = keep
+        self._network: Optional[Network] = None
+        self._original_transmit = None
+
+    def attach(self, network: Network) -> "Sniffer":
+        """Start recording frames transmitted on a network."""
+        if self._network is not None:
+            raise RuntimeError("sniffer already attached")
+        self._network = network
+        self._original_transmit = network.transmit
+        sniffer = self
+
+        def tapped(datagram: Datagram, size: Optional[int] = None):
+            if sniffer._keep is None or sniffer._keep(datagram):
+                sniffer.frames.append(SniffedFrame(
+                    time=network.scheduler.now,
+                    network=datagram.network,
+                    src_host=datagram.src_host,
+                    dst_host=datagram.dst_host,
+                    protocol=datagram.protocol,
+                    payload=datagram.payload,
+                ))
+            sniffer._original_transmit(datagram, size=size)
+
+        network.transmit = tapped
+        return self
+
+    def detach(self) -> None:
+        """Stop recording and restore the network's transmit path."""
+        if self._network is not None:
+            self._network.transmit = self._original_transmit
+            self._network = None
+
+    # -- queries ----------------------------------------------------------
+
+    def between(self, host_a: str, host_b: str) -> List[SniffedFrame]:
+        """All recorded frames between two hosts (either direction)."""
+        return [f for f in self.frames
+                if {f.src_host, f.dst_host} == {host_a, host_b}]
+
+    def payload_bytes(self) -> List[bytes]:
+        """Every bytes-typed element found inside recorded payloads
+        (segments' data, mailbox records)."""
+        out = []
+        for frame in self.frames:
+            payload = frame.payload
+            if isinstance(payload, tuple):
+                out.extend(p for p in payload
+                           if isinstance(p, (bytes, bytearray)))
+        return out
+
+    def clear(self) -> None:
+        """Discard recorded frames."""
+        self.frames.clear()
+
+    def __len__(self) -> int:
+        return len(self.frames)

@@ -1,0 +1,74 @@
+"""Standard internet topologies for tests and experiments.
+
+The paper's deployments were hand-wired; these helpers build the
+recurring shapes — a chain of networks, a star around a hub, a full
+clique — on a :class:`~repro.testbed.Testbed`, with the prime-gateway
+bootstrap configured so every module can always reach the Name Server.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.machine import SUN3, VAX, MachineType
+
+
+def build_chain(bed, hops: int, protocol: str = "tcp",
+                machine_type: Optional[MachineType] = None) -> List[str]:
+    """net0 -gw- net1 -gw- … -gw- net<hops>; Name Server on net0.
+    Returns the network names.  One end machine ("m0") exists on net0
+    and one ("mEnd") on the last network."""
+    mtype = machine_type or VAX
+    networks = [f"net{i}" for i in range(hops + 1)]
+    for name in networks:
+        bed.network(name, protocol=protocol)
+    bed.machine("m0", mtype, networks=["net0"])
+    bed.name_server("m0")
+    for i in range(hops):
+        bed.machine(f"gwm{i}", SUN3, networks=[f"net{i}", f"net{i + 1}"])
+        bed.gateway(f"gwm{i}", prime_for=[f"net{i + 1}"])
+    bed.machine("mEnd", mtype, networks=[networks[-1]])
+    return networks
+
+
+def build_star(bed, spokes: int, protocol: str = "tcp",
+               machine_type: Optional[MachineType] = None) -> List[str]:
+    """A hub network with ``spokes`` leaf networks, one gateway and one
+    leaf machine ("leaf<i>") per spoke; Name Server on the hub.
+    Returns the spoke network names."""
+    mtype = machine_type or VAX
+    bed.network("hub", protocol=protocol)
+    bed.machine("center", mtype, networks=["hub"])
+    bed.name_server("center")
+    names = []
+    for i in range(spokes):
+        name = f"spoke{i}"
+        bed.network(name, protocol=protocol)
+        bed.machine(f"g{i}", SUN3, networks=["hub", name])
+        bed.gateway(f"g{i}", prime_for=[name])
+        bed.machine(f"leaf{i}", mtype, networks=[name])
+        names.append(name)
+    return names
+
+
+def build_clique(bed, size: int, protocol: str = "tcp",
+                 machine_type: Optional[MachineType] = None) -> List[str]:
+    """``size`` networks with a gateway between every pair (richly
+    redundant routing); Name Server on net0, one machine ("host<i>")
+    per network.  Returns the network names."""
+    mtype = machine_type or VAX
+    networks = [f"net{i}" for i in range(size)]
+    for name in networks:
+        bed.network(name, protocol=protocol)
+    bed.machine("host0", mtype, networks=["net0"])
+    bed.name_server("host0")
+    for i in range(size):
+        for j in range(i + 1, size):
+            gw_name = f"gw{i}_{j}"
+            bed.machine(gw_name, SUN3, networks=[f"net{i}", f"net{j}"])
+            # net0-adjacent gateways are primes for their far network.
+            prime = [f"net{j}"] if i == 0 else []
+            bed.gateway(gw_name, prime_for=prime)
+    for i in range(1, size):
+        bed.machine(f"host{i}", mtype, networks=[f"net{i}"])
+    return networks

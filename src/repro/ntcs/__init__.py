@@ -1,0 +1,31 @@
+"""The NTCS proper: the Nucleus layers and their support types.
+
+Bottom-up, per the paper's Fig. 2-2:
+
+* :mod:`address` — UAdds, TAdds, physical-address blobs (Sec. 2.3, 3.4)
+* :mod:`message` — shift-mode internal message headers (Sec. 5.2)
+* :mod:`stdif` / :mod:`drivers` — the ND-Layer's uniform virtual-circuit
+  interface over each native IPCS (Sec. 2.2)
+* :mod:`ndlayer` — local virtual circuits, address caching, faults
+* :mod:`iplayer` / :mod:`gateway` — internet virtual circuits chained
+  through portable Gateway modules (Sec. 4)
+* :mod:`lcm` — logical connection maintenance: implicit open,
+  relocation, forwarding, connectionless sends (Sec. 2.2, 3.5)
+* :mod:`nucleus` — the composition bound into every NTCS module,
+  with recursion accounting (Sec. 6)
+* :mod:`wellknown` — the bootstrap address table (Sec. 3.4)
+"""
+
+from repro.ntcs.address import Address, AddressCache, TAddAllocator, NAME_SERVER_UADD
+from repro.ntcs.wellknown import WellKnownTable
+from repro.ntcs.nucleus import Nucleus, NucleusConfig
+
+__all__ = [
+    "Address",
+    "AddressCache",
+    "TAddAllocator",
+    "NAME_SERVER_UADD",
+    "WellKnownTable",
+    "Nucleus",
+    "NucleusConfig",
+]

@@ -1,0 +1,27 @@
+"""ND-Layer drivers: the only network-dependent code in the NTCS.
+
+"All machine and network communication dependencies are localized here,
+providing a uniform virtual circuit interface (STD-IF) for the
+remainder of the NTCS" (Sec. 2.2).  Everything above these drivers is
+portable across IPCSs — demonstrated by experiment E10, which runs the
+identical upper layers over all drivers, including real OS sockets.
+"""
+
+from repro.ntcs.drivers.sim_tcp import SimTcpDriver
+from repro.ntcs.drivers.sim_mbx import SimMbxDriver
+
+
+def make_driver(ipcs):
+    """Build the matching STD-IF driver for a native IPCS instance."""
+    if ipcs.protocol == "tcp":
+        return SimTcpDriver(ipcs)
+    if ipcs.protocol == "mbx":
+        return SimMbxDriver(ipcs)
+    if ipcs.protocol == "rtcp":
+        # Imported lazily: the real-socket substrate is optional.
+        from repro.realnet.driver import LoopbackTcpDriver
+        return LoopbackTcpDriver(ipcs)
+    raise ValueError(f"no ND-Layer driver for IPCS protocol {ipcs.protocol!r}")
+
+
+__all__ = ["SimTcpDriver", "SimMbxDriver", "make_driver"]

@@ -1,0 +1,287 @@
+"""The portable Gateway module (paper Secs. 4.1–4.3).
+
+"The Gateway and IP-layers are both entirely portable.  This not only
+simplified their design, but allows the *same* Gateway module to be
+used for all networks and machines.  The ability for each Gateway
+module to communicate with different networks is handled by the
+independent ComMods with which it binds.  Each ComMod is bound with an
+ND-Layer designed for one of the networks.  Thus, no network-dependent
+issues are visible within the Gateway."
+
+A :class:`Gateway` owns one Nucleus *stack* per attached network and a
+splice table pairing inbound and outbound LVCs of pass-through
+circuits.  It establishes each circuit hop autonomously, consulting
+only the naming service for topology ("no inter-gateway communication
+ever takes place" — there is no gateway-to-gateway routing protocol,
+and :attr:`inter_gateway_control_messages` counts the proof).
+
+Failure handling follows Sec. 4.3 exactly: a dead LVC on one side makes
+the gateway "instruct the IP-layer on the other side of the link to
+close the associated IVC", propagating the teardown hop-by-hop back to
+the originating module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    AddressFault,
+    NameServerUnreachable,
+    NoSuchAddress,
+    NtcsError,
+    RouteNotFound,
+)
+from repro.ntcs import message as m
+from repro.ntcs.address import Address
+from repro.ntcs.iplayer import MAX_HOPS
+from repro.ntcs.ndlayer import Lvc
+from repro.ntcs.nucleus import Nucleus, NucleusConfig
+from repro.ntcs.protocol import T_IVC_OPEN
+
+
+class Gateway:
+    """One gateway module, spanning every network its machine touches.
+
+    Args:
+        process: the gateway's process (its machine must be attached to
+            at least two networks).
+        registry: the deployment's conversion registry.
+        wellknown: the deployment's well-known address table.
+        config: Nucleus configuration shared by all stacks.
+    """
+
+    def __init__(self, process, registry, wellknown, config: Optional[NucleusConfig] = None):
+        self.process = process
+        self.wellknown = wellknown
+        networks = process.machine.networks
+        if len(networks) < 2:
+            raise NtcsError(
+                f"gateway host {process.machine.name} is attached to "
+                f"{len(networks)} network(s); a gateway needs at least 2"
+            )
+        self.stacks: Dict[str, Nucleus] = {}
+        for network in networks:
+            nucleus = Nucleus(process, network, registry, wellknown, config=config)
+            nucleus.gateway_handler = self
+            nucleus.nd.create_resource()
+            self.stacks[network] = nucleus
+        # inbound/outbound pairing of pass-through circuits.
+        self._splices: Dict[Lvc, Tuple[Nucleus, Lvc]] = {}
+        self.uadd: Optional[Address] = None
+        self.name: str = f"gateway.{process.name}"
+        # E5's absence proof: never incremented anywhere.
+        self.inter_gateway_control_messages = 0
+        self.circuits_established = 0
+        self.circuits_refused = 0
+        self.messages_forwarded = 0
+        self.teardowns_propagated = 0
+
+    # -- registration (Sec. 4.1: "their logical name and connected
+    # networks are registered with the naming service; the same as any
+    # application module") ----------------------------------------------------
+
+    def register(self) -> Address:
+        """Register this gateway (name + all networks) with the naming service."""
+        addresses = [
+            (network, nucleus.nd.listen_blob)
+            for network, nucleus in sorted(self.stacks.items())
+        ]
+        primary = self._primary_stack()
+        self.uadd = primary.require_nsp().register(
+            name=self.name,
+            attrs={"kind": "gateway", "networks": ",".join(sorted(self.stacks))},
+            addresses=addresses,
+            mtype_name=self.process.machine.mtype.name,
+        )
+        for nucleus in self.stacks.values():
+            nucleus.set_identity(self.uadd)
+
+        def deregister_on_kill():
+            # Best effort, like any module's graceful death: lets the
+            # naming service exclude this gateway from future routes.
+            primary.lcm.datagram(
+                self.wellknown.ns_uadd, "ns_deregister",
+                {"uadd": self.uadd.value},
+            )
+
+        self.process.at_kill(deregister_on_kill)
+        return self.uadd
+
+    def _primary_stack(self) -> Nucleus:
+        # Prefer a stack that can reach the Name Server directly.
+        for network, nucleus in sorted(self.stacks.items()):
+            if self.wellknown.ns_reachable_directly(network):
+                return nucleus
+        return self.stacks[sorted(self.stacks)[0]]
+
+    def attach_nsp(self, nsp_factory) -> None:
+        """Give each stack an NSP-Layer (factory: nucleus -> NspLayer)."""
+        for nucleus in self.stacks.values():
+            nucleus.nsp = nsp_factory(nucleus)
+
+    # -- the hook the IP-Layer calls ---------------------------------------------
+
+    def handle(self, nucleus: Nucleus, lvc: Lvc, msg: m.Msg) -> bool:
+        """First crack at every message on this stack.  Returns True
+        when the message belonged to the pass-through plane."""
+        splice = self._splices.get(lvc)
+        if splice is not None:
+            self._forward(lvc, splice, msg)
+            return True
+        if msg.kind == m.IVC_OPEN and not self._is_mine(msg.dst):
+            self._establish(nucleus, lvc, msg)
+            return True
+        return False
+
+    def on_fault(self, nucleus: Nucleus, lvc: Lvc, reason: str) -> bool:
+        """A spliced LVC died: close the other side (Sec. 4.3)."""
+        splice = self._splices.pop(lvc, None)
+        if splice is None:
+            return False
+        other_nucleus, other_lvc = splice
+        self._splices.pop(other_lvc, None)
+        self.teardowns_propagated += 1
+        close_msg = m.Msg(
+            kind=m.IVC_CLOSE,
+            src=nucleus.self_addr,
+            dst=other_lvc.peer_addr or nucleus.self_addr,
+            flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+        )
+        close_msg.type_id, close_msg.body = nucleus.pack_internal(
+            "ivc_close", {"reason": f"upstream circuit failed: {reason}"[:90]}
+        )
+        try:
+            other_nucleus.nd.send(other_lvc, close_msg)
+        except NtcsError:
+            pass
+        other_nucleus.nd.close(other_lvc, "splice peer failed")
+        return True
+
+    def _is_mine(self, addr: Address) -> bool:
+        if self.uadd is not None and addr == self.uadd:
+            return True
+        return any(nucleus.is_self(addr) for nucleus in self.stacks.values())
+
+    # -- circuit establishment -----------------------------------------------
+
+    def _establish(self, in_nucleus: Nucleus, in_lvc: Lvc, msg: m.Msg) -> None:
+        values = in_nucleus.unpack_internal(T_IVC_OPEN, msg.body)
+        dst_network = values["dst_network"]
+        hops = msg.aux
+        if hops >= MAX_HOPS:
+            self.circuits_refused += 1
+            self._nak(in_nucleus, in_lvc, msg, "hop count exceeded")
+            return
+        try:
+            out_nucleus, out_lvc = self._open_next_hop(msg.dst, dst_network)
+        except (AddressFault, RouteNotFound, NoSuchAddress, NtcsError) as exc:
+            self.circuits_refused += 1
+            self._nak(in_nucleus, in_lvc, msg, str(exc))
+            return
+        # Splice before forwarding so the returning IVC_OPEN_ACK already
+        # has a path back upstream.
+        self._splices[in_lvc] = (out_nucleus, out_lvc)
+        self._splices[out_lvc] = (in_nucleus, in_lvc)
+        self.circuits_established += 1
+        forwarded = m.Msg(
+            kind=m.IVC_OPEN, src=msg.src, dst=msg.dst,
+            flags=msg.flags, type_id=msg.type_id,
+            corr_id=msg.corr_id, aux=hops + 1, body=msg.body,
+        )
+        out_nucleus.nd.send(out_lvc, forwarded)
+
+    def _open_next_hop(self, dst: Address, dst_network: str) -> Tuple[Nucleus, Lvc]:
+        """Open the next LVC of the chain: to the destination itself
+        when its network is one of ours, else to the next gateway
+        toward it — chosen with the same naming-service machinery the
+        originating IP-Layer used (Sec. 4.1)."""
+        if dst_network in self.stacks:
+            out_nucleus = self.stacks[dst_network]
+            blob = self.wellknown.blob_for(dst, dst_network)
+            if blob is None:
+                record = self._resolve_via_any_stack(dst, preferred=out_nucleus)
+                blob = record.blob_on(dst_network)
+                if blob is None:
+                    raise AddressFault(
+                        dst, f"not reachable on {dst_network!r}"
+                    )
+            lvc = out_nucleus.nd.open_lvc(dst, blob, reason="final chain hop")
+            return out_nucleus, lvc
+        # Route onward: first hop toward dst_network from any of our
+        # stacks (each stack's IP-Layer owns the BFS and its cache).
+        errors = []
+        for network, nucleus in sorted(self.stacks.items()):
+            try:
+                plan = nucleus.ip._gateway_plan(dst, dst_network)
+            except (RouteNotFound, NtcsError) as exc:
+                errors.append(str(exc))
+                continue
+            gw_dst = plan.gw_uadd or nucleus.tadds.allocate()
+            if self.uadd is not None and plan.gw_uadd == self.uadd:
+                continue  # never route through ourselves
+            lvc = nucleus.nd.open_lvc(gw_dst, plan.blob, reason="next gateway hop")
+            return nucleus, lvc
+        raise RouteNotFound(
+            f"no onward route to {dst_network!r}: {'; '.join(errors) or 'no gateways'}"
+        )
+
+    def _resolve_via_any_stack(self, dst: Address, preferred: Nucleus):
+        """Resolve a UAdd through whichever of our stacks can currently
+        reach the naming service.  All stacks query the same service;
+        a stack whose own bootstrap route toward it is down (e.g. its
+        prime gateway died) must not doom the resolution."""
+        candidates = [preferred] + [
+            nucleus for nucleus in self.stacks.values()
+            if nucleus is not preferred
+        ]
+        last_error: Optional[Exception] = None
+        for nucleus in candidates:
+            try:
+                return nucleus.require_nsp().resolve_uadd(dst)
+            except NameServerUnreachable as exc:
+                last_error = exc
+        raise last_error
+
+    def _nak(self, nucleus: Nucleus, lvc: Lvc, msg: m.Msg, reason: str) -> None:
+        nak = m.Msg(
+            kind=m.IVC_OPEN_NAK, src=nucleus.self_addr, dst=msg.src,
+            flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+        )
+        nak.type_id, nak.body = nucleus.pack_internal(
+            "ivc_open_nak", {"reason": reason[:90]}
+        )
+        try:
+            nucleus.nd.send(lvc, nak)
+        except NtcsError:
+            pass
+
+    # -- pass-through forwarding -----------------------------------------------
+
+    def _forward(self, in_lvc: Lvc, splice: Tuple[Nucleus, Lvc], msg: m.Msg) -> None:
+        out_nucleus, out_lvc = splice
+        if msg.kind == m.IVC_CLOSE:
+            # Propagate the close and dismantle the splice (Sec. 4.3).
+            self._splices.pop(in_lvc, None)
+            self._splices.pop(out_lvc, None)
+            self.teardowns_propagated += 1
+            try:
+                out_nucleus.nd.send(out_lvc, msg)
+            except NtcsError:
+                pass
+            out_nucleus.nd.close(out_lvc, "ivc closed")
+            return
+        self.messages_forwarded += 1
+        try:
+            out_nucleus.nd.send(out_lvc, msg)
+        except NtcsError:
+            # The downstream leg died with traffic in flight: messages
+            # "may get lost in Gateway queues during this
+            # reconfiguration" (Sec. 4.3).
+            out_nucleus.counters.incr("gateway_messages_dropped")
+
+    # -- introspection -------------------------------------------------------
+
+    def splice_count(self) -> int:
+        """Number of pass-through circuits currently spliced."""
+        return len(self._splices) // 2

@@ -1,0 +1,405 @@
+"""The Internet Protocol Layer: internet virtual circuits (paper Sec. 4).
+
+"The IP-Layer, in conjunction with one or more Gateway modules,
+provides internet virtual circuits (IVCs) across disjoint networks and
+machines. IVCs are established either as a single LVC on the local
+network, or as a chained set of LVCs linked through one or more
+Gateways as required."
+
+The internet scheme "decentralize[s] the circuit routing and
+establishment, while centralizing the topological information in the
+naming service": this layer only ever picks the *first* gateway toward
+the destination network; each gateway in turn picks its own next hop
+using the same naming-service queries ("used ... by both the IP-layer
+and the Gateways themselves").  No inter-gateway routing protocol
+exists.
+
+This layer is also where transfer-mode selection happens for outgoing
+application data: it is the lowest layer that knows the *end-to-end*
+destination machine type (learned from the LVC hello on direct
+circuits, from the IVC_OPEN_ACK on chained ones) — Sec. 5's "the
+decision to apply them is left to the lowest layers, where the
+destination machine type is visible".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.conversion.modes import encode_values
+from repro.errors import (
+    AddressFault,
+    ChannelClosed,
+    NoSuchAddress,
+    RouteNotFound,
+)
+from repro.ntcs import message as m
+from repro.ntcs.address import Address, blob_network
+from repro.ntcs.ndlayer import Lvc
+from repro.ntcs.protocol import (
+    T_IVC_OPEN,
+    T_IVC_OPEN_ACK,
+    T_IVC_OPEN_NAK,
+)
+
+MAX_HOPS = 8
+
+
+class Ivc:
+    """One internet virtual circuit endpoint."""
+
+    _next_id = 0
+
+    def __init__(self, lvc: Lvc, peer_addr: Optional[Address], direct: bool):
+        Ivc._next_id += 1
+        self.ivc_id = Ivc._next_id
+        self.lvc = lvc
+        self.peer_addr = peer_addr
+        self.peer_mtype_name = lvc.peer_mtype_name
+        self.direct = direct
+        self.state = "OPEN" if direct else "OPENING"
+        self.nak_reason = ""
+
+    @property
+    def open(self) -> bool:
+        return self.state == "OPEN" and self.lvc.open
+
+    def __repr__(self) -> str:
+        shape = "direct" if self.direct else "chained"
+        return f"Ivc#{self.ivc_id}({shape}, {self.state}, peer={self.peer_addr})"
+
+
+@dataclass
+class _Plan:
+    """How to reach a destination: directly, or via a first gateway."""
+
+    direct: bool
+    blob: str
+    gw_uadd: Optional[Address] = None
+    dst_network: str = ""
+
+
+class IpLayer:
+    """The middle Nucleus layer of one module."""
+
+    LAYER = "IP"
+
+    def __init__(self, nucleus):
+        self.nucleus = nucleus
+        self.nd = nucleus.nd
+        self.nd.set_upcalls(
+            accept=self._on_lvc_accept,
+            message=self._on_lvc_message,
+            fault=self._on_lvc_fault,
+        )
+        self._by_lvc: Dict[Lvc, Ivc] = {}
+        # dst network -> (gateway uadd or None, gateway blob); cached so
+        # a warmed-up system routes with no Name-Server traffic (E2).
+        self.route_cache: Dict[str, Tuple[Optional[Address], str]] = {}
+        # Which prime gateway we are currently using toward the Name
+        # Server (rotated when one fails; Sec. 3.4's primes are plural).
+        self._prime_index = 0
+        self._deliver_upcall: Callable[[Ivc, m.Msg], None] = lambda ivc, msg: None
+        self._fault_upcall: Callable[[Ivc, str], None] = lambda ivc, reason: None
+
+    def set_upcalls(self, deliver, fault) -> None:
+        """Install the LCM-Layer's deliver/fault callbacks."""
+        self._deliver_upcall = deliver
+        self._fault_upcall = fault
+
+    @property
+    def local_network(self) -> str:
+        return self.nd.driver.network_name
+
+    # -- circuit establishment -------------------------------------------------
+
+    def open_ivc(self, dst: Address, reason: str = "") -> Ivc:
+        """Establish an IVC to ``dst``.  Blocking; raises AddressFault
+        or RouteNotFound on failure."""
+        nucleus = self.nucleus
+        with nucleus.enter(self.LAYER, "open", reason=reason or f"ivc to {dst}"):
+            plan = self._plan(dst)
+            if plan.direct:
+                lvc = self.nd.open_lvc(dst, plan.blob, reason="direct ivc")
+                ivc = Ivc(lvc, peer_addr=lvc.peer_addr or dst, direct=True)
+                self._by_lvc[lvc] = ivc
+                nucleus.counters.incr("ivc_direct_opened")
+                return ivc
+            # Chained: open the LVC to the first gateway, then run the
+            # end-to-end IVC_OPEN handshake through it.
+            gw_dst = plan.gw_uadd or nucleus.tadds.allocate()
+            try:
+                lvc = self.nd.open_lvc(gw_dst, plan.blob,
+                                       reason="first gateway hop")
+            except AddressFault as exc:
+                # The cached first hop is dead: drop it so the retry
+                # replans — from the naming service's current topology,
+                # or, for the Name Server itself, the next prime gateway.
+                self.route_cache.pop(plan.dst_network, None)
+                if dst == nucleus.wellknown.ns_uadd:
+                    self._prime_index += 1
+                raise AddressFault(dst, f"first-hop gateway unreachable: {exc}")
+            ivc = Ivc(lvc, peer_addr=dst, direct=False)
+            self._by_lvc[lvc] = ivc
+            open_msg = m.Msg(
+                kind=m.IVC_OPEN,
+                src=nucleus.self_addr,
+                dst=dst,
+                flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+                aux=0,
+            )
+            open_msg.type_id, open_msg.body = nucleus.pack_internal("ivc_open", {
+                "dst_network": plan.dst_network,
+                "src_mtype": nucleus.mtype.name,
+                "src_listen_blob": self.nd.listen_blob or "",
+            })
+            self.nd.send(lvc, open_msg)
+            nucleus.scheduler.pump_until(
+                lambda: ivc.state != "OPENING",
+                timeout=nucleus.config.open_timeout,
+                what=f"ivc open to {dst}",
+            )
+            if ivc.state != "OPEN":
+                failure = ivc.nak_reason or "ivc open timed out"
+                self.close(ivc, failure, notify=False)
+                # A NAK naming a stale route means the cached first hop
+                # may be wrong; drop it so the retry replans.
+                self.route_cache.pop(plan.dst_network, None)
+                if dst == nucleus.wellknown.ns_uadd:
+                    self._prime_index += 1
+                raise AddressFault(dst, failure)
+            nucleus.counters.incr("ivc_chained_opened")
+            return ivc
+
+    def _plan(self, dst: Address) -> _Plan:
+        nucleus = self.nucleus
+        local = self.local_network
+        wellknown = nucleus.wellknown
+
+        # Bootstrap case: the Name Server, reachable without any naming
+        # service involvement (Sec. 3.4).
+        if dst == wellknown.ns_uadd:
+            blob = wellknown.blob_for(dst, local)
+            if blob is not None:
+                return _Plan(direct=True, blob=blob)
+            prime = wellknown.prime_gateway_blob(local, self._prime_index)
+            if prime is None:
+                raise RouteNotFound(
+                    f"no well-known path to the Name Server from {local!r}"
+                )
+            ns_nets = wellknown.ns_networks()
+            return _Plan(direct=False, blob=prime, gw_uadd=None,
+                         dst_network=ns_nets[0] if ns_nets else "")
+
+        # Cached physical address?
+        entry = nucleus.addr_cache.lookup(dst)
+        if entry is not None:
+            net = blob_network(entry.blob)
+            if net == local:
+                return _Plan(direct=True, blob=entry.blob)
+            return self._gateway_plan(dst, net)
+
+        if dst.temporary:
+            raise AddressFault(dst, "temporary addresses cannot be located")
+        if dst in nucleus.ns_addresses:
+            # Never ask the naming service where the naming service is.
+            raise AddressFault(
+                dst, "naming-service address not in the well-known tables"
+            )
+
+        # Ask the naming service — the recursive path (Sec. 3.1).
+        record = nucleus.require_nsp().resolve_uadd(dst)
+        blob = record.blob_on(local)
+        if blob is not None:
+            nucleus.addr_cache.store(dst, blob, record.mtype_name)
+            return _Plan(direct=True, blob=blob)
+        if not record.addresses:
+            raise NoSuchAddress(f"{dst} has no physical addresses registered")
+        dst_network, remote_blob = record.addresses[0]
+        nucleus.addr_cache.store(dst, remote_blob, record.mtype_name)
+        return self._gateway_plan(dst, dst_network)
+
+    def _gateway_plan(self, dst: Address, dst_network: str) -> _Plan:
+        nucleus = self.nucleus
+        local = self.local_network
+        cached = self.route_cache.get(dst_network)
+        if cached is not None:
+            gw_uadd, gw_blob = cached
+            return _Plan(direct=False, blob=gw_blob, gw_uadd=gw_uadd,
+                         dst_network=dst_network)
+        gw_uadd, gw_blob = self._first_hop(local, dst_network)
+        self.route_cache[dst_network] = (gw_uadd, gw_blob)
+        return _Plan(direct=False, blob=gw_blob, gw_uadd=gw_uadd,
+                     dst_network=dst_network)
+
+    def _first_hop(self, local: str, dst_network: str) -> Tuple[Address, str]:
+        """Pick the first gateway toward ``dst_network`` from the
+        topology registered in the naming service: a breadth-first
+        search over gateway adjacency, computed locally from centrally
+        stored information (Sec. 4.2)."""
+        gateways = self.nucleus.require_nsp().list_gateways()
+        self.nucleus.counters.incr("topology_queries")
+        # networks adjacency: network -> [(gateway record, its networks)]
+        frontier = [(local, None)]  # (network, first-hop gateway record)
+        seen = {local}
+        while frontier:
+            next_frontier = []
+            for network, first_hop in frontier:
+                for gw in gateways:
+                    nets = gw.networks()
+                    if network not in nets:
+                        continue
+                    hop = first_hop or gw
+                    for reachable in nets:
+                        if reachable in seen:
+                            continue
+                        if reachable == dst_network:
+                            blob = hop.blob_on(local)
+                            if blob is None:
+                                continue
+                            return hop.uadd, blob
+                        seen.add(reachable)
+                        next_frontier.append((reachable, hop))
+            frontier = next_frontier
+        raise RouteNotFound(f"no gateway chain from {local!r} to {dst_network!r}")
+
+    # -- data path ---------------------------------------------------------------
+
+    def send_values(self, ivc: Ivc, msg: m.Msg, type_id: int, values: dict,
+                    force_mode: Optional[int] = None) -> None:
+        """Encode application values for ``ivc``'s end-to-end peer
+        machine type, then transmit."""
+        nucleus = self.nucleus
+        dst_mtype = nucleus.mtype_by_name(ivc.peer_mtype_name)
+        msg.type_id = type_id
+        mode, wire = encode_values(
+            nucleus.registry, type_id, values,
+            src=nucleus.mtype, dst=dst_mtype, mode=force_mode,
+        )
+        msg.set_mode(mode)
+        msg.body = wire
+        self.send_raw(ivc, msg)
+
+    def send_raw(self, ivc: Ivc, msg: m.Msg) -> None:
+        """Transmit an already-encoded message over an IVC."""
+        if not ivc.open:
+            raise ChannelClosed(f"{ivc} is not open")
+        self.nd.send(ivc.lvc, msg)
+
+    def close(self, ivc: Ivc, reason: str, notify: bool = True) -> None:
+        """Close an IVC (optionally notifying the peer with IVC_CLOSE)."""
+        if ivc.state == "CLOSED":
+            return
+        if notify and ivc.open:
+            close_msg = m.Msg(
+                kind=m.IVC_CLOSE,
+                src=self.nucleus.self_addr,
+                dst=ivc.peer_addr or self.nucleus.self_addr,
+                flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+            )
+            close_msg.type_id, close_msg.body = self.nucleus.pack_internal(
+                "ivc_close", {"reason": reason[:90]}
+            )
+            try:
+                self.nd.send(ivc.lvc, close_msg)
+            except ChannelClosed:
+                pass
+        ivc.state = "CLOSED"
+        self._by_lvc.pop(ivc.lvc, None)
+        self.nd.close(ivc.lvc, reason)
+
+    # -- upcalls from the ND-Layer ------------------------------------------------
+
+    def _on_lvc_accept(self, lvc: Lvc) -> None:
+        # Until proven otherwise this inbound circuit is a direct IVC;
+        # an IVC_OPEN arriving on it upgrades it to a chained endpoint.
+        ivc = Ivc(lvc, peer_addr=lvc.peer_addr, direct=True)
+        self._by_lvc[lvc] = ivc
+
+    def _on_lvc_message(self, lvc: Lvc, msg: m.Msg) -> None:
+        nucleus = self.nucleus
+        gateway = nucleus.gateway_handler
+        if gateway is not None and gateway.handle(nucleus, lvc, msg):
+            return
+        ivc = self._by_lvc.get(lvc)
+        if ivc is None:
+            return
+        if msg.kind == m.IVC_OPEN:
+            self._on_ivc_open_as_endpoint(ivc, msg)
+        elif msg.kind == m.IVC_OPEN_ACK:
+            values = nucleus.unpack_internal(T_IVC_OPEN_ACK, msg.body)
+            ivc.peer_mtype_name = values["dst_mtype"]
+            ivc.state = "OPEN"
+        elif msg.kind == m.IVC_OPEN_NAK:
+            values = nucleus.unpack_internal(T_IVC_OPEN_NAK, msg.body)
+            ivc.nak_reason = values["reason"]
+            ivc.state = "FAILED"
+        elif msg.kind == m.IVC_CLOSE:
+            self._teardown(ivc, "closed by remote")
+        else:
+            self._deliver_upcall(ivc, msg)
+
+    def _on_ivc_open_as_endpoint(self, ivc: Ivc, msg: m.Msg) -> None:
+        """The final destination of a chained circuit: record the
+        originator's identity/machine type and acknowledge end-to-end."""
+        nucleus = self.nucleus
+        values = nucleus.unpack_internal(T_IVC_OPEN, msg.body)
+        if not nucleus.is_self(msg.dst):
+            # A chained open for someone else arriving at a plain module:
+            # only gateways may forward.
+            nucleus.counters.incr("ivc_open_refused_not_gateway")
+            nak = m.Msg(
+                kind=m.IVC_OPEN_NAK, src=nucleus.self_addr, dst=msg.src,
+                flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+            )
+            nak.type_id, nak.body = nucleus.pack_internal(
+                "ivc_open_nak", {"reason": "not a gateway and not the destination"}
+            )
+            self.nd.send(ivc.lvc, nak)
+            return
+        if msg.src.temporary:
+            ivc.peer_addr = nucleus.tadds.allocate()
+        else:
+            ivc.peer_addr = msg.src
+            if values["src_listen_blob"]:
+                nucleus.addr_cache.store(
+                    msg.src, values["src_listen_blob"], values["src_mtype"]
+                )
+        ivc.peer_mtype_name = values["src_mtype"]
+        ivc.direct = False
+        ack = m.Msg(
+            kind=m.IVC_OPEN_ACK, src=nucleus.self_addr, dst=msg.src,
+            flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+        )
+        ack.type_id, ack.body = nucleus.pack_internal(
+            "ivc_open_ack", {"dst_mtype": nucleus.mtype.name}
+        )
+        self.nd.send(ivc.lvc, ack)
+
+    def _on_lvc_fault(self, lvc: Lvc, reason: str) -> None:
+        gateway = self.nucleus.gateway_handler
+        if gateway is not None and gateway.on_fault(self.nucleus, lvc, reason):
+            return
+        ivc = self._by_lvc.get(lvc)
+        if ivc is not None:
+            self._teardown(ivc, reason)
+
+    def _teardown(self, ivc: Ivc, reason: str) -> None:
+        if ivc.state == "CLOSED":
+            return
+        was_opening = ivc.state == "OPENING"
+        ivc.state = "FAILED" if was_opening else "CLOSED"
+        ivc.nak_reason = ivc.nak_reason or reason
+        self._by_lvc.pop(ivc.lvc, None)
+        self.nd.close(ivc.lvc, reason)
+        if not was_opening:
+            # "Notification is simply passed upward" — the LCM-Layer
+            # owns relocation and recovery.
+            self._fault_upcall(ivc, reason)
+
+    # -- introspection -----------------------------------------------------------
+
+    def open_ivc_count(self) -> int:
+        """Number of currently open IVCs."""
+        return sum(1 for ivc in self._by_lvc.values() if ivc.open)

@@ -1,0 +1,432 @@
+"""The Logical Connection Maintenance Layer (paper Secs. 2.2 and 3.5).
+
+"Its primary function is to relocate modules which may have moved, and
+to recover from broken connections, though it also provides a
+connectionless protocol.  No explicit open or close primitives are
+provided at the Nucleus interface; messages are simply sent/received
+directly to/from the desired destinations, with the underlying IVCs
+being established as needed."
+
+The address-fault handler implements the Sec. 3.5 recovery sequence:
+local forwarding-address table, then a naming-service query for a
+forwarding UAdd, then reconnection — plus the Sec. 6.3 *patch*: when
+the faulted address is the Name Server itself, asking the naming
+service would recurse forever ("until either the stack overflows, or
+the connection can be reestablished"), so a patched LCM retries through
+the well-known physical address instead.  The patch is configurable
+specifically so experiment E9 can reproduce the unpatched failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+from repro.conversion.modes import decode_body
+from repro.errors import (
+    AddressFault,
+    ChannelClosed,
+    ConnectionRefused,
+    DestinationUnavailable,
+    ModuleStillAlive,
+    NameServerUnreachable,
+    NetworkUnreachable,
+    NoForwardingAddress,
+    NoSuchAddress,
+    ReplyTimeout,
+    RouteNotFound,
+)
+from repro.ntcs import message as m
+from repro.ntcs.address import Address
+from repro.ntcs.iplayer import Ivc
+from repro.util.idgen import SequenceGenerator
+
+# Conditions the send loop treats as "the address may be stale" — the
+# address-fault handler decides between relocation and reconnection.
+# RouteNotFound is included: a module may have relocated to a network
+# we can currently reach even when its old network is unroutable.
+_TRANSIENT = (AddressFault, ChannelClosed, ConnectionRefused,
+              NetworkUnreachable, RouteNotFound)
+
+
+@dataclass
+class IncomingMessage:
+    """One delivered application (or internal) message."""
+
+    src: Address
+    type_id: int
+    type_name: str
+    values: dict
+    corr_id: int
+    reply_expected: bool
+    internal: bool
+    connectionless: bool
+    arrived_at: float
+    mode: int
+
+
+@dataclass
+class _PendingCall:
+    dst: Address
+    reply: Optional[IncomingMessage] = None
+    error: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        return self.reply is not None or self.error is not None
+
+
+class CallHandle:
+    """An outstanding asynchronous call: poll :attr:`ready` or block in
+    :meth:`result`."""
+
+    def __init__(self, lcm: "LcmLayer", corr_id: int, pending: _PendingCall):
+        self._lcm = lcm
+        self.corr_id = corr_id
+        self._pending = pending
+
+    @property
+    def ready(self) -> bool:
+        return self._pending.done
+
+    def result(self, timeout: Optional[float] = None) -> IncomingMessage:
+        """Block until the reply arrives (or fail like a sync call)."""
+        nucleus = self._lcm.nucleus
+        timeout = timeout if timeout is not None else nucleus.config.call_timeout
+        try:
+            nucleus.scheduler.pump_until(
+                lambda: self._pending.done, timeout=timeout,
+                what=f"async reply from {self._pending.dst}",
+            )
+            if self._pending.reply is not None:
+                return self._pending.reply
+            if self._pending.error is not None:
+                raise DestinationUnavailable(
+                    f"call to {self._pending.dst}: {self._pending.error}"
+                )
+            raise ReplyTimeout(
+                f"no reply from {self._pending.dst} within {timeout}s"
+            )
+        finally:
+            self._lcm._pending.pop(self.corr_id, None)
+
+
+class LcmLayer:
+    """The top Nucleus layer of one module."""
+
+    LAYER = "LCM"
+    MAX_SEND_ATTEMPTS = 3
+
+    def __init__(self, nucleus):
+        self.nucleus = nucleus
+        self.ip = nucleus.ip
+        self.ip.set_upcalls(deliver=self._on_deliver, fault=self._on_fault)
+        self._routes: Dict[Address, Ivc] = {}
+        # The local forwarding-address table (Sec. 3.5).
+        self.forwarding: Dict[Address, Address] = {}
+        self._pending: Dict[int, _PendingCall] = {}
+        self._queue: Deque[IncomingMessage] = deque()
+        self._handler: Optional[Callable[[IncomingMessage], None]] = None
+        self._corr = SequenceGenerator()
+        self._ns_fault_streak = 0
+
+    # -- primitives -----------------------------------------------------------
+
+    def send(
+        self,
+        dst: Address,
+        type_name: str,
+        values: dict,
+        flags: int = 0,
+        corr_id: int = 0,
+        force_mode: Optional[int] = None,
+    ) -> None:
+        """Send one message; circuits are established (and relocation
+        performed) as needed.  Blocking until handed to the wire."""
+        nucleus = self.nucleus
+        entry = nucleus.registry.get_by_name(type_name)
+        with nucleus.enter(self.LAYER, "send", reason=type_name):
+            # The timestamp is for monitor data (Sec. 6.1); taking it may
+            # recurse into the time service, so skip it when no monitor
+            # record will be emitted.
+            timestamp = nucleus.timestamp() if nucleus.monitoring_active else 0.0
+            target = self._follow_forwarding(dst)
+            last_error: Optional[Exception] = None
+            for _ in range(self.MAX_SEND_ATTEMPTS):
+                try:
+                    ivc = self._route_to(target)
+                    msg = m.Msg(
+                        kind=m.DATA, src=nucleus.self_addr, dst=target,
+                        flags=flags, corr_id=corr_id,
+                    )
+                    self.ip.send_values(ivc, msg, entry.sdef.type_id, values,
+                                        force_mode=force_mode)
+                except _TRANSIENT as exc:
+                    last_error = exc
+                    self._drop_route(target)
+                    target = self._address_fault(target, exc)
+                    continue
+                self._ns_fault_streak = 0
+                nucleus.emit_monitor({
+                    "event": "send", "peer": str(target),
+                    "type": type_name, "t": timestamp,
+                })
+                return
+            raise DestinationUnavailable(
+                f"send to {dst} failed after {self.MAX_SEND_ATTEMPTS} attempts: "
+                f"{last_error}"
+            )
+
+    def call(
+        self,
+        dst: Address,
+        type_name: str,
+        values: dict,
+        timeout: Optional[float] = None,
+        flags: int = 0,
+    ) -> IncomingMessage:
+        """Synchronous send/receive/reply: send, then block until the
+        correlated reply arrives.
+
+        A call whose circuit dies while awaiting the reply is retried
+        (bounded by ``call_retries``): the message may have been lost in
+        a reconfiguration window (Sec. 3.5), and the retried send runs
+        the full relocation machinery.  Reply timeouts are *not*
+        retried — the destination saw the request."""
+        nucleus = self.nucleus
+        timeout = timeout if timeout is not None else nucleus.config.call_timeout
+        attempts = 1 + max(0, nucleus.config.call_retries)
+        last_error = ""
+        for _ in range(attempts):
+            corr = self._corr.next()
+            pending = _PendingCall(dst=dst)
+            self._pending[corr] = pending
+            try:
+                self.send(dst, type_name, values,
+                          flags=flags | m.FLAG_REPLY_EXPECTED, corr_id=corr)
+                done = nucleus.scheduler.pump_until(
+                    lambda: pending.done,
+                    timeout=timeout,
+                    what=f"reply from {dst}",
+                )
+                if pending.reply is not None:
+                    return pending.reply
+                if pending.error is not None:
+                    last_error = pending.error
+                    nucleus.counters.incr("lcm_call_retries")
+                    continue
+                assert not done
+                raise ReplyTimeout(f"no reply from {dst} within {timeout}s")
+            finally:
+                self._pending.pop(corr, None)
+        raise DestinationUnavailable(f"call to {dst}: {last_error}")
+
+    def call_async(self, dst: Address, type_name: str, values: dict,
+                   flags: int = 0) -> CallHandle:
+        """The asynchronous form of :meth:`call`: send the request,
+        return immediately with a handle on the future reply."""
+        corr = self._corr.next()
+        pending = _PendingCall(dst=dst)
+        self._pending[corr] = pending
+        try:
+            self.send(dst, type_name, values,
+                      flags=flags | m.FLAG_REPLY_EXPECTED, corr_id=corr)
+        except Exception:
+            self._pending.pop(corr, None)
+            raise
+        return CallHandle(self, corr, pending)
+
+    def reply(self, request: IncomingMessage, type_name: str, values: dict,
+              flags: int = 0) -> None:
+        """Answer a request received with reply_expected set."""
+        self.send(request.src, type_name, values,
+                  flags=flags | m.FLAG_IS_REPLY, corr_id=request.corr_id)
+
+    def datagram(self, dst: Address, type_name: str, values: dict,
+                 flags: int = 0) -> bool:
+        """The connectionless protocol: best-effort, never raises for
+        delivery problems.  Returns False when the send failed."""
+        try:
+            self.send(dst, type_name, values,
+                      flags=flags | m.FLAG_CONNECTIONLESS)
+            return True
+        except (DestinationUnavailable, NoSuchAddress, RouteNotFound,
+                NoForwardingAddress, NameServerUnreachable):
+            self.nucleus.counters.incr("datagrams_dropped")
+            return False
+
+    def receive(self, timeout: Optional[float] = None) -> IncomingMessage:
+        """Block until a message is queued (polling receiver style)."""
+        nucleus = self.nucleus
+        timeout = timeout if timeout is not None else nucleus.config.call_timeout
+        ok = nucleus.scheduler.pump_until(
+            lambda: bool(self._queue), timeout=timeout, what="receive",
+        )
+        if not ok:
+            raise ReplyTimeout(f"nothing received within {timeout}s")
+        return self._queue.popleft()
+
+    def set_handler(self, handler: Optional[Callable[[IncomingMessage], None]]) -> None:
+        """Install a synchronous message handler (server style).  While
+        installed, messages bypass the receive queue."""
+        self._handler = handler
+
+    # -- routing and recovery ----------------------------------------------------
+
+    def _follow_forwarding(self, dst: Address) -> Address:
+        """Chase the forwarding-address table, guarding against cycles."""
+        seen = {dst}
+        target = dst
+        while target in self.forwarding:
+            target = self.forwarding[target]
+            if target in seen:
+                raise DestinationUnavailable(f"forwarding cycle at {target}")
+            seen.add(target)
+        return target
+
+    def _route_to(self, target: Address) -> Ivc:
+        ivc = self._routes.get(target)
+        if ivc is not None and ivc.open:
+            return ivc
+        self._routes.pop(target, None)
+        ivc = self.ip.open_ivc(target, reason="lcm send")
+        self._routes[target] = ivc
+        return ivc
+
+    def _drop_route(self, target: Address) -> None:
+        ivc = self._routes.pop(target, None)
+        if ivc is not None and ivc.state not in ("CLOSED", "FAILED"):
+            self.ip.close(ivc, "dropped after fault", notify=False)
+
+    def _address_fault(self, target: Address, exc: Exception) -> Address:
+        """The Sec. 3.5 address-fault handler: look for a forwarding
+        UAdd in the naming service; distinguish "no replacement" from
+        "module still alive"."""
+        nucleus = self.nucleus
+        with nucleus.enter(self.LAYER, "address_fault", reason=str(exc)):
+            nucleus.counters.incr("lcm_address_faults")
+            if target in nucleus.ns_addresses:
+                if nucleus.config.ns_fault_patch:
+                    # The patch (Sec. 6.3): layers below the NSP-Layer
+                    # know nothing of the Name Server; only this handler
+                    # can stop the recursion.  Retry through the
+                    # well-known physical address instead of asking the
+                    # naming service about itself.
+                    nucleus.counters.incr("ns_fault_patch_hits")
+                    self._ns_fault_streak += 1
+                    if self._ns_fault_streak > nucleus.config.ns_fault_retry_limit:
+                        self._ns_fault_streak = 0
+                        raise NameServerUnreachable(
+                            "Name Server unreachable through its well-known address"
+                        )
+                    return target
+                # Unpatched: fall through and ask the naming service —
+                # which needs the very circuit that just broke.
+            try:
+                forward = nucleus.require_nsp().lookup_forwarding(target)
+            except NoForwardingAddress:
+                raise DestinationUnavailable(
+                    f"{target} is gone and no replacement module was located"
+                )
+            except ModuleStillAlive:
+                # "It will attempt to reestablish what appears to be a
+                # broken communication link."
+                nucleus.counters.incr("lcm_reconnect_attempts")
+                return target
+            self.forwarding[target] = forward
+            nucleus.counters.incr("lcm_relocations_followed")
+            return self._follow_forwarding(target)
+
+    # -- upcalls from the IP-Layer ---------------------------------------------
+
+    def _on_deliver(self, ivc: Ivc, msg: m.Msg) -> None:
+        nucleus = self.nucleus
+        if msg.kind != m.DATA:
+            nucleus.counters.incr("lcm_unexpected_kinds")
+            return
+        # A TAdd source is only unique to its assigner: key local tables
+        # by the alias the ND/IP layer assigned to this circuit.
+        effective_src = msg.src
+        if msg.src.temporary and ivc.peer_addr is not None:
+            effective_src = ivc.peer_addr
+        if effective_src is not None:
+            self._routes[effective_src] = ivc
+        try:
+            entry = nucleus.registry.get(msg.type_id)
+            values = decode_body(
+                nucleus.registry, msg.type_id, msg.mode, msg.body, nucleus.mtype
+            )
+        except Exception as exc:  # malformed bodies must not kill the pump
+            nucleus.counters.incr("lcm_undecodable_messages")
+            nucleus.log_error(f"undecodable message from {msg.src}: {exc}")
+            return
+        incoming = IncomingMessage(
+            src=effective_src,
+            type_id=msg.type_id,
+            type_name=entry.sdef.name,
+            values=values,
+            corr_id=msg.corr_id,
+            reply_expected=msg.reply_expected,
+            internal=msg.internal,
+            connectionless=msg.connectionless,
+            arrived_at=nucleus.scheduler.now,
+            mode=msg.mode,
+        )
+        if nucleus.monitoring_active:
+            nucleus.emit_monitor({
+                "event": "recv", "peer": str(effective_src),
+                "type": entry.sdef.name, "t": nucleus.timestamp(),
+            })
+        if msg.is_reply:
+            pending = self._pending.get(msg.corr_id)
+            if pending is not None:
+                pending.reply = incoming
+            else:
+                nucleus.counters.incr("lcm_orphan_replies")
+            return
+        with nucleus.enter(self.LAYER, "deliver", caller="IP",
+                           reason=entry.sdef.name):
+            if self._handler is not None:
+                self._handler(incoming)
+            else:
+                self._queue.append(incoming)
+
+    def _on_fault(self, ivc: Ivc, reason: str) -> None:
+        self.nucleus.counters.incr("lcm_circuit_faults")
+        dead = [addr for addr, route in self._routes.items() if route is ivc]
+        for addr in dead:
+            del self._routes[addr]
+        for pending in self._pending.values():
+            if pending.done:
+                continue
+            try:
+                target = self._follow_forwarding(pending.dst)
+            except DestinationUnavailable:
+                target = pending.dst
+            if pending.dst in dead or target in dead:
+                pending.error = f"connection lost: {reason}"
+
+    # -- TAdd purge plumbing ---------------------------------------------------
+
+    def rekey_route(self, old: Address, new: Address) -> None:
+        """Replace a TAdd table key with the real UAdd (Sec. 3.4)."""
+        ivc = self._routes.pop(old, None)
+        if ivc is not None:
+            self._routes[new] = ivc
+        if old in self.forwarding:
+            self.forwarding[new] = self.forwarding.pop(old)
+
+    # -- introspection ----------------------------------------------------
+
+    def queued(self) -> int:
+        """Number of messages waiting in the receive queue."""
+        return len(self._queue)
+
+    def route_count(self) -> int:
+        """Number of address-to-circuit routes held."""
+        return len(self._routes)
+
+    def temporary_route_keys(self) -> int:
+        """Number of routes still keyed by TAdds (E3's metric)."""
+        return sum(1 for addr in self._routes if addr.temporary)

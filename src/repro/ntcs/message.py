@@ -1,0 +1,164 @@
+"""NTCS internal messages: shift-mode headers + mode-tagged bodies.
+
+Per Sec. 5.2 of the paper, "all message headers are built with
+structures of four byte integers", transferred with the endian-
+independent shift/mask routines of
+:mod:`repro.conversion.shiftmode`, while "any necessary data field in an
+NTCS control message is built in packed mode".
+
+Header layout (twelve 32-bit words, 48 bytes):
+
+====  ==========================================================
+word  meaning
+====  ==========================================================
+ 0    magic ("NTCS")
+ 1    kind (DATA / LVC_HELLO / IVC_OPEN / ...)
+ 2    flags (transfer mode, reply bits, connectionless)
+ 3,4  source address (high, low; bit 63 marks a TAdd)
+ 5,6  destination address (high, low)
+ 7    message type id (conversion-registry key)
+ 8    correlation id (send/receive/reply matching)
+ 9    body length in bytes
+10    aux (hop count for IVC_OPEN; otherwise zero)
+11    checksum: sum of words 0–10 mod 2^32
+====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conversion.shiftmode import shift_decode_u32s, shift_encode_u32s
+from repro.errors import ProtocolError
+from repro.ntcs.address import Address
+
+MAGIC = 0x4E544353  # "NTCS"
+HEADER_WORDS = 12
+HEADER_BYTES = HEADER_WORDS * 4
+
+# -- kinds ------------------------------------------------------------------
+
+DATA = 1
+LVC_HELLO = 2
+LVC_HELLO_ACK = 3
+IVC_OPEN = 4
+IVC_OPEN_ACK = 5
+IVC_OPEN_NAK = 6
+IVC_CLOSE = 7
+
+KIND_NAMES = {
+    DATA: "DATA",
+    LVC_HELLO: "LVC_HELLO",
+    LVC_HELLO_ACK: "LVC_HELLO_ACK",
+    IVC_OPEN: "IVC_OPEN",
+    IVC_OPEN_ACK: "IVC_OPEN_ACK",
+    IVC_OPEN_NAK: "IVC_OPEN_NAK",
+    IVC_CLOSE: "IVC_CLOSE",
+}
+
+# -- flags -------------------------------------------------------------------
+
+FLAG_PACKED = 0x01          # body transfer mode: set=packed, clear=image
+FLAG_REPLY_EXPECTED = 0x02
+FLAG_IS_REPLY = 0x04
+FLAG_CONNECTIONLESS = 0x08
+FLAG_INTERNAL = 0x10        # NTCS control-plane traffic (NSP, monitor, ...)
+
+
+@dataclass
+class Msg:
+    """One NTCS message: a parsed header plus its body bytes."""
+
+    kind: int
+    src: Address
+    dst: Address
+    flags: int = 0
+    type_id: int = 0
+    corr_id: int = 0
+    aux: int = 0
+    body: bytes = b""
+
+    # -- flag helpers ---------------------------------------------------------
+
+    @property
+    def mode(self) -> int:
+        """Transfer mode of the body (conversion.IMAGE or PACKED)."""
+        return 1 if self.flags & FLAG_PACKED else 0
+
+    def set_mode(self, mode: int) -> None:
+        """Set the body transfer-mode flag (IMAGE or PACKED)."""
+        if mode:
+            self.flags |= FLAG_PACKED
+        else:
+            self.flags &= ~FLAG_PACKED
+
+    @property
+    def reply_expected(self) -> bool:
+        return bool(self.flags & FLAG_REPLY_EXPECTED)
+
+    @property
+    def is_reply(self) -> bool:
+        return bool(self.flags & FLAG_IS_REPLY)
+
+    @property
+    def connectionless(self) -> bool:
+        return bool(self.flags & FLAG_CONNECTIONLESS)
+
+    @property
+    def internal(self) -> bool:
+        return bool(self.flags & FLAG_INTERNAL)
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, f"kind{self.kind}")
+
+    # -- wire form ------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Shift-mode header followed by the body bytes."""
+        src_hi, src_lo = self.src.to_u32_pair()
+        dst_hi, dst_lo = self.dst.to_u32_pair()
+        words = [
+            MAGIC, self.kind, self.flags,
+            src_hi, src_lo, dst_hi, dst_lo,
+            self.type_id, self.corr_id, len(self.body), self.aux,
+        ]
+        checksum = sum(words) & 0xFFFFFFFF
+        return shift_encode_u32s(words + [checksum]) + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Msg":
+        """Parse one complete message.  Raises ProtocolError on any
+        malformation — the sanity net under the recursive layers."""
+        if len(data) < HEADER_BYTES:
+            raise ProtocolError(f"short NTCS message: {len(data)} bytes")
+        words = shift_decode_u32s(data, HEADER_WORDS)
+        if words[0] != MAGIC:
+            raise ProtocolError(f"bad magic {words[0]:#x}")
+        checksum = sum(words[:11]) & 0xFFFFFFFF
+        if words[11] != checksum:
+            raise ProtocolError(
+                f"header checksum mismatch ({words[11]:#x} != {checksum:#x})"
+            )
+        body_len = words[9]
+        body = data[HEADER_BYTES:]
+        if len(body) != body_len:
+            raise ProtocolError(
+                f"body length mismatch: header says {body_len}, got {len(body)}"
+            )
+        return cls(
+            kind=words[1],
+            flags=words[2],
+            src=Address.from_u32_pair(words[3], words[4]),
+            dst=Address.from_u32_pair(words[5], words[6]),
+            type_id=words[7],
+            corr_id=words[8],
+            aux=words[10],
+            body=body,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Msg({self.kind_name} {self.src}->{self.dst} type={self.type_id} "
+            f"corr={self.corr_id} flags={self.flags:#x} body={len(self.body)}B)"
+        )

@@ -1,0 +1,60 @@
+"""NTCS-internal control message bodies.
+
+Control messages carry shift-mode headers (:mod:`repro.ntcs.message`)
+and, when they need data fields at all, packed-mode bodies: "Any
+necessary data field in an NTCS control message is built in packed
+mode.  Since these data fields are relatively rare, this conversion
+overhead is not bothersome" (Sec. 5.2).
+
+Type ids 1–9 are reserved for Nucleus control bodies; 10–39 for the
+naming service protocol; 40–63 for DRTS services; applications start at
+:attr:`ConversionRegistry.FIRST_APPLICATION_TYPE_ID`.
+"""
+
+from __future__ import annotations
+
+from repro.conversion import ConversionRegistry, Field, StructDef
+
+# Nucleus control-plane type ids.
+T_LVC_HELLO = 1
+T_LVC_HELLO_ACK = 2
+T_IVC_OPEN = 3
+T_IVC_OPEN_ACK = 4
+T_IVC_OPEN_NAK = 5
+T_IVC_CLOSE = 6
+
+_STRUCTS = [
+    # Exchanged during the channel open protocol (Sec. 3.3): each end
+    # learns the peer's machine type and listening blob and caches them.
+    StructDef("lvc_hello", T_LVC_HELLO, [
+        Field("mtype", "char[16]"),
+        Field("listen_blob", "char[96]"),
+        Field("network", "char[24]"),
+    ]),
+    StructDef("lvc_hello_ack", T_LVC_HELLO_ACK, [
+        Field("mtype", "char[16]"),
+        Field("listen_blob", "char[96]"),
+    ]),
+    # Internet circuit establishment (Sec. 4.2).  Hop count rides in the
+    # header aux word; the body carries what gateways route by.
+    StructDef("ivc_open", T_IVC_OPEN, [
+        Field("dst_network", "char[24]"),
+        Field("src_mtype", "char[16]"),
+        Field("src_listen_blob", "char[96]"),
+    ]),
+    StructDef("ivc_open_ack", T_IVC_OPEN_ACK, [
+        Field("dst_mtype", "char[16]"),
+    ]),
+    StructDef("ivc_open_nak", T_IVC_OPEN_NAK, [
+        Field("reason", "char[96]"),
+    ]),
+    StructDef("ivc_close", T_IVC_CLOSE, [
+        Field("reason", "char[96]"),
+    ]),
+]
+
+
+def register_nucleus_types(registry: ConversionRegistry) -> None:
+    """Install the Nucleus control structures into a registry."""
+    for sdef in _STRUCTS:
+        registry.register(sdef)

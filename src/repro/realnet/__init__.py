@@ -1,0 +1,28 @@
+"""Real-socket substrate: the portable upper layers over genuine OS TCP.
+
+The paper's core architectural claim is that "everything above the
+ND-Layer is portable, in terms of the communication interface"
+(Sec. 2.2).  The strongest demonstration this reproduction can offer is
+to run the *identical* Nucleus, naming service, ComMod and application
+code over real operating-system TCP sockets on localhost instead of the
+simulated networks — which this package does:
+
+* :mod:`kernel` — a realtime event kernel with the same blocking-pump
+  interface as the simulation scheduler,
+* :mod:`driver` — an ND-Layer driver speaking real non-blocking TCP,
+* :mod:`deploy` — a deployment builder mirroring
+  :class:`~repro.testbed.Testbed`.
+
+Used by experiment E10 and the ``realsockets.py`` example.
+"""
+
+from repro.realnet.kernel import RealtimeKernel
+from repro.realnet.driver import LoopbackRealIpcs, LoopbackTcpDriver
+from repro.realnet.deploy import RealDeployment
+
+__all__ = [
+    "RealtimeKernel",
+    "LoopbackRealIpcs",
+    "LoopbackTcpDriver",
+    "RealDeployment",
+]

@@ -1,0 +1,90 @@
+"""Deployment builder for real-socket NTCS systems.
+
+Mirrors :class:`repro.testbed.Testbed`, but every "machine" is a bundle
+of real localhost sockets under one realtime kernel.  Machine *types*
+are still simulated (that is the point: byte-order heterogeneity on one
+physical host), so the conversion layer behaves exactly as on the
+simulated networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.commod import ComMod
+from repro.errors import SimulationError
+from repro.machine import Machine, MachineType, SimProcess
+from repro.naming import NameServer
+from repro.ntcs.nucleus import NucleusConfig
+from repro.ntcs.wellknown import WellKnownTable
+from repro.realnet.driver import LoopbackRealIpcs
+from repro.realnet.kernel import RealtimeKernel
+from repro.testbed import make_registry
+
+NETWORK = "loop0"
+
+
+class RealDeployment:
+    """One real-socket deployment on localhost."""
+
+    def __init__(self, config: Optional[NucleusConfig] = None):
+        self.kernel = RealtimeKernel()
+        self.registry = make_registry()
+        self.wellknown = WellKnownTable()
+        self.config = config or NucleusConfig(
+            open_timeout=3.0, call_timeout=5.0,
+        )
+        self.machines: Dict[str, Machine] = {}
+        self.modules: Dict[str, ComMod] = {}
+        self.name_server_instance: Optional[NameServer] = None
+
+    def machine(self, name: str, mtype: MachineType) -> Machine:
+        """Create a 'machine': a machine type plus a real-socket IPCS slot."""
+        if name in self.machines:
+            raise SimulationError(f"machine {name!r} already exists")
+        machine = Machine(self.kernel, name, mtype)
+        LoopbackRealIpcs(self.kernel, machine, NETWORK)
+        self.machines[name] = machine
+        return machine
+
+    def name_server(self, machine_name: str) -> NameServer:
+        """Start the Name Server on a real socket (OS-assigned port)."""
+        if self.name_server_instance is not None:
+            raise SimulationError("this deployment already has a Name Server")
+        process = SimProcess(self.machines[machine_name], "name.server")
+        server = NameServer(
+            process, self.registry, self.wellknown,
+            network=NETWORK, binding=None,  # OS assigns the port
+            config=replace(self.config),
+        )
+        self.wellknown.add_name_server_blob(server.listen_blob)
+        self.name_server_instance = server
+        return server
+
+    def module(self, name: str, machine_name: str, register: bool = True,
+               attrs=None) -> ComMod:
+        """Create an application module over real sockets."""
+        process = SimProcess(self.machines[machine_name], name)
+        commod = ComMod(
+            process, self.registry, self.wellknown,
+            network=NETWORK, config=replace(self.config),
+        )
+        if register:
+            commod.ali.register(name, attrs=attrs)
+        self.modules[name] = commod
+        return commod
+
+    def settle(self, duration: float = 0.05) -> None:
+        """Let in-flight socket traffic drain (wall-clock)."""
+        self.kernel.wait(duration)
+
+    def shutdown(self) -> None:
+        """Close every socket and the kernel."""
+        for commod in self.modules.values():
+            if commod.process.alive:
+                commod.process.kill()
+        if self.name_server_instance is not None:
+            if self.name_server_instance.process.alive:
+                self.name_server_instance.process.kill()
+        self.kernel.close()

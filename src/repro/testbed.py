@@ -1,0 +1,192 @@
+"""Deployment builder: whole NTCS testbeds in a few lines.
+
+The paper's URSA testbed mixed machines, networks, gateways, a Name
+Server and application modules.  :class:`Testbed` assembles exactly
+that on the simulation substrate — used by the examples, integration
+tests and every benchmark.
+
+Typical use::
+
+    bed = Testbed()
+    ether = bed.network("ether0", protocol="tcp")
+    bed.machine("vax1", VAX, networks=["ether0"])
+    bed.machine("sun1", SUN3, networks=["ether0"])
+    bed.name_server("vax1")
+    server = bed.module("index.server", "sun1")
+    client = bed.module("host.1", "vax1")
+    uadd = client.ali.locate("index.server")
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.commod import ComMod
+from repro.conversion import ConversionRegistry
+from repro.errors import SimulationError
+from repro.ipcs import SimMbxIpcs, SimTcpIpcs
+from repro.machine import Machine, MachineType, SimProcess
+from repro.naming import NameServer, NspLayer, register_naming_types
+from repro.netsim import Network, Scheduler
+from repro.ntcs.gateway import Gateway
+from repro.ntcs.nucleus import NucleusConfig
+from repro.ntcs.protocol import register_nucleus_types
+from repro.ntcs.wellknown import WellKnownTable
+from repro.drts.protocol import register_drts_types
+
+_IPCS_KINDS = {"tcp": SimTcpIpcs, "mbx": SimMbxIpcs}
+
+# Well-known bindings for the Name Server's listening resource.
+_NS_BINDINGS = {"tcp": "411", "mbx": "/mbx/name.server"}
+
+
+def make_registry() -> ConversionRegistry:
+    """A registry with every internal NTCS/naming/DRTS type installed."""
+    registry = ConversionRegistry()
+    register_nucleus_types(registry)
+    register_naming_types(registry)
+    register_drts_types(registry)
+    return registry
+
+
+class Testbed:
+    """One deployment: scheduler, networks, machines, Name Server,
+    gateways and modules, sharing a registry and well-known table."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, config: Optional[NucleusConfig] = None):
+        self.scheduler = Scheduler()
+        self.registry = make_registry()
+        self.wellknown = WellKnownTable()
+        self.config = config or NucleusConfig()
+        self.networks: Dict[str, Network] = {}
+        self.machines: Dict[str, Machine] = {}
+        self.gateways: Dict[str, Gateway] = {}
+        self.modules: Dict[str, ComMod] = {}
+        self.name_server_instance: Optional[NameServer] = None
+        # Swappable naming-service client (set by e.g. the replicated
+        # deployment helper); None means the single-server NspLayer.
+        self.nsp_factory = None
+
+    # -- topology -----------------------------------------------------------
+
+    def network(self, name: str, protocol: str = "tcp",
+                latency: float = 0.001,
+                bandwidth: Optional[float] = None) -> Network:
+        """Create a network.  ``protocol`` fixes which native IPCS runs
+        on it ("tcp" for ethernets, "mbx" for the Apollo ring);
+        ``bandwidth`` (bytes/virtual-second) enables the serialization-
+        delay model."""
+        if protocol not in _IPCS_KINDS:
+            raise SimulationError(f"unknown IPCS protocol {protocol!r}")
+        if name in self.networks:
+            raise SimulationError(f"network {name!r} already exists")
+        net = Network(self.scheduler, name, latency=latency,
+                      bandwidth=bandwidth)
+        net.protocol = protocol
+        self.networks[name] = net
+        return net
+
+    def machine(
+        self,
+        name: str,
+        mtype: MachineType,
+        networks: List[str],
+        clock_offset: float = 0.0,
+        clock_drift: float = 0.0,
+    ) -> Machine:
+        """Create a machine attached to the named networks, with the
+        matching native IPCS instantiated per network."""
+        if name in self.machines:
+            raise SimulationError(f"machine {name!r} already exists")
+        machine = Machine(self.scheduler, name, mtype,
+                          clock_offset=clock_offset, clock_drift=clock_drift)
+        for net_name in networks:
+            net = self.networks[net_name]
+            machine.attach_network(net)
+            _IPCS_KINDS[net.protocol](machine, net)
+        self.machines[name] = machine
+        return machine
+
+    # -- system modules -----------------------------------------------------
+
+    def name_server(self, machine_name: str,
+                    network: Optional[str] = None,
+                    db=None) -> NameServer:
+        """Start the Name Server on a machine and publish its
+        well-known address to every (current and future) module.
+        Pass ``db`` to swap the database implementation (e.g. an
+        :class:`~repro.naming.attributes.AttributeNameDatabase`)."""
+        if self.name_server_instance is not None:
+            raise SimulationError("this testbed already has a Name Server")
+        machine = self.machines[machine_name]
+        network = network or machine.networks[0]
+        protocol = self.networks[network].protocol
+        process = SimProcess(machine, "name.server")
+        server = NameServer(
+            process, self.registry, self.wellknown,
+            network=network, binding=_NS_BINDINGS[protocol],
+            config=replace(self.config), db=db,
+        )
+        self.wellknown.add_name_server_blob(server.listen_blob)
+        self.name_server_instance = server
+        return server
+
+    def gateway(self, machine_name: str,
+                prime_for: Optional[List[str]] = None) -> Gateway:
+        """Start a gateway spanning all of a machine's networks,
+        register it with the naming service, and optionally make it the
+        *prime* gateway (the well-known route toward the Name Server)
+        for some of those networks."""
+        machine = self.machines[machine_name]
+        process = SimProcess(machine, f"gw.{machine_name}")
+        gateway = Gateway(process, self.registry, self.wellknown,
+                          config=replace(self.config))
+        # Prime status must exist before registration: the gateway's
+        # own registration may need to route toward the Name Server.
+        for network in (prime_for or []):
+            blob = gateway.stacks[network].nd.listen_blob
+            self.wellknown.add_prime_gateway(network, blob)
+        gateway.attach_nsp(lambda nucleus: NspLayer(nucleus))
+        gateway.register()
+        self.gateways[machine_name] = gateway
+        return gateway
+
+    def module(
+        self,
+        name: str,
+        machine_name: str,
+        network: Optional[str] = None,
+        register: bool = True,
+        attrs: Optional[Dict[str, str]] = None,
+        config: Optional[NucleusConfig] = None,
+    ) -> ComMod:
+        """Create an application module: process + ComMod, registered
+        with the naming service by default."""
+        machine = self.machines[machine_name]
+        process = SimProcess(machine, name)
+        commod = ComMod(
+            process, self.registry, self.wellknown,
+            network=network, config=config or replace(self.config),
+            nsp_factory=self.nsp_factory,
+        )
+        if register:
+            commod.ali.register(name, attrs=attrs)
+        self.modules[name] = commod
+        return commod
+
+    # -- running -------------------------------------------------------------
+
+    def settle(self) -> int:
+        """Drain outstanding events (e.g. after asynchronous sends)."""
+        return self.scheduler.run_until_idle()
+
+    def run_for(self, duration: float) -> int:
+        """Run events inside a virtual-time window; returns how many ran."""
+        return self.scheduler.run_for(duration)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now

@@ -1,0 +1,5 @@
+"""Operator tooling: the experiment report generator."""
+
+from repro.tools.report import compose_report
+
+__all__ = ["compose_report"]

@@ -1,0 +1,36 @@
+"""URSA: the distributed information-retrieval application (paper
+Secs. 1.2, 7; ref [5]).
+
+"The URSA system is based on a number of backend servers (e.g., for
+index lookup, searching, or retrieval of documents), handling requests
+from host processors or user workstations."
+
+This package is that system, built on the NTCS public API:
+
+* :mod:`corpus` — a deterministic synthetic document collection (the
+  substitute for the project's real document base),
+* :mod:`index_server` — sharded inverted-index lookup backends,
+* :mod:`search_server` — boolean query evaluation, calling the index
+  servers over the NTCS (server-to-server traffic),
+* :mod:`document_server` — document text retrieval,
+* :mod:`host` — the user-facing frontend,
+* :mod:`deploy` — placement helpers used by the examples and E11.
+"""
+
+from repro.ursa.corpus import Corpus
+from repro.ursa.protocol import register_ursa_types
+from repro.ursa.index_server import IndexServer
+from repro.ursa.search_server import SearchServer
+from repro.ursa.document_server import DocumentServer
+from repro.ursa.host import UrsaHost
+from repro.ursa.deploy import deploy_ursa
+
+__all__ = [
+    "Corpus",
+    "register_ursa_types",
+    "IndexServer",
+    "SearchServer",
+    "DocumentServer",
+    "UrsaHost",
+    "deploy_ursa",
+]

@@ -1,0 +1,90 @@
+"""A deterministic synthetic document collection.
+
+The paper's URSA testbed indexed real document bases we do not have;
+this corpus substitutes seeded, Zipf-distributed pseudo-English so that
+index sizes, posting-list skew and query selectivity behave like text
+(DESIGN.md records the substitution).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List
+
+_SYLLABLES = [
+    "ba", "co", "da", "el", "fo", "gri", "hu", "in", "jo", "ka",
+    "lu", "mo", "ne", "or", "pa", "qui", "ro", "sa", "tu", "ve",
+]
+
+
+def _make_vocabulary(size: int, rng: random.Random) -> List[str]:
+    words = set()
+    while len(words) < size:
+        count = rng.randint(2, 4)
+        words.add("".join(rng.choice(_SYLLABLES) for _ in range(count)))
+    return sorted(words)
+
+
+class Corpus:
+    """``n_docs`` documents over a ``vocabulary_size``-word vocabulary,
+    word frequencies roughly Zipfian, fully determined by ``seed``."""
+
+    def __init__(self, n_docs: int = 200, vocabulary_size: int = 400,
+                 words_per_doc: int = 60, seed: int = 7):
+        rng = random.Random(seed)
+        self.vocabulary = _make_vocabulary(vocabulary_size, rng)
+        # Zipf-ish weights: weight of rank r is 1/(r+1).
+        weights = [1.0 / (rank + 1) for rank in range(vocabulary_size)]
+        self._docs: Dict[int, str] = {}
+        for doc_id in range(1, n_docs + 1):
+            length = rng.randint(words_per_doc // 2, words_per_doc * 2)
+            words = rng.choices(self.vocabulary, weights=weights, k=length)
+            self._docs[doc_id] = " ".join(words)
+
+    # -- access --------------------------------------------------------------
+
+    def doc_ids(self) -> List[int]:
+        """All document ids, ascending."""
+        return sorted(self._docs)
+
+    def text(self, doc_id: int) -> str:
+        """The full text of one document."""
+        return self._docs[doc_id]
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._docs
+
+    @staticmethod
+    def tokenize(text: str) -> List[str]:
+        return [w for w in text.lower().split() if w]
+
+    # -- derived data ----------------------------------------------------------
+
+    def build_inverted_index(self, doc_ids: Iterable[int]) -> Dict[str, List[int]]:
+        """term → sorted posting list over the given documents."""
+        index: Dict[str, set] = {}
+        for doc_id in doc_ids:
+            for term in self.tokenize(self._docs[doc_id]):
+                index.setdefault(term, set()).add(doc_id)
+        return {term: sorted(postings) for term, postings in index.items()}
+
+    def build_tf_index(self, doc_ids: Iterable[int]) -> Dict[str, Dict[int, int]]:
+        """term → {doc id: term frequency} over the given documents."""
+        index: Dict[str, Dict[int, int]] = {}
+        for doc_id in doc_ids:
+            for term in self.tokenize(self._docs[doc_id]):
+                per_term = index.setdefault(term, {})
+                per_term[doc_id] = per_term.get(doc_id, 0) + 1
+        return index
+
+    def common_terms(self, count: int) -> List[str]:
+        """The ``count`` most frequent terms — handy query material."""
+        freq: Dict[str, int] = {}
+        for text in self._docs.values():
+            for term in self.tokenize(text):
+                freq[term] = freq.get(term, 0) + 1
+        return [t for t, _ in sorted(freq.items(),
+                                     key=lambda kv: (-kv[1], kv[0]))[:count]]

@@ -1,0 +1,68 @@
+"""URSA deployment helpers: place the backends on a testbed.
+
+The paper reports "three generations of distributed information
+retrieval systems"; :func:`deploy_ursa` parameterizes placement so E11
+can run the same application on three topologies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.testbed import Testbed
+from repro.ursa.corpus import Corpus
+from repro.ursa.document_server import DocumentServer
+from repro.ursa.host import UrsaHost
+from repro.ursa.index_server import IndexServer
+from repro.ursa.protocol import register_ursa_types
+from repro.ursa.search_server import SearchServer
+
+
+@dataclass
+class UrsaSystem:
+    """Handles to a deployed URSA instance."""
+
+    corpus: Corpus
+    index_servers: List[IndexServer]
+    search_server: SearchServer
+    document_server: DocumentServer
+    hosts: List[UrsaHost]
+
+
+def deploy_ursa(
+    bed: Testbed,
+    corpus: Corpus,
+    index_machines: List[str],
+    search_machine: str,
+    docs_machine: str,
+    host_machines: Optional[List[str]] = None,
+) -> UrsaSystem:
+    """Stand the whole IR system up on an existing testbed.
+
+    One index shard per entry of ``index_machines`` (repeats allowed),
+    one search server, one document server, one host per entry of
+    ``host_machines``.
+    """
+    if 64 not in bed.registry:
+        register_ursa_types(bed.registry)
+    n_shards = len(index_machines)
+    index_servers = []
+    for shard, machine in enumerate(index_machines):
+        commod = bed.module(f"ursa.index.{shard}", machine, register=False)
+        index_servers.append(IndexServer(commod, corpus, shard=shard,
+                                         n_shards=n_shards))
+    search_commod = bed.module("ursa.search", search_machine, register=False)
+    search_server = SearchServer(search_commod, universe_size=len(corpus))
+    docs_commod = bed.module("ursa.docs", docs_machine, register=False)
+    document_server = DocumentServer(docs_commod, corpus)
+    hosts = []
+    for i, machine in enumerate(host_machines or []):
+        commod = bed.module(f"ursa.host.{i}", machine, register=False)
+        hosts.append(UrsaHost(commod, name=f"ursa.host.{i}"))
+    return UrsaSystem(
+        corpus=corpus,
+        index_servers=index_servers,
+        search_server=search_server,
+        document_server=document_server,
+        hosts=hosts,
+    )

@@ -1,0 +1,14 @@
+"""Small shared utilities: deterministic id generation, layer tracing,
+and counters used by the experiments."""
+
+from repro.util.idgen import SequenceGenerator
+from repro.util.trace import LayerTracer, TraceRecord, NullTracer
+from repro.util.counters import CounterSet
+
+__all__ = [
+    "SequenceGenerator",
+    "LayerTracer",
+    "TraceRecord",
+    "NullTracer",
+    "CounterSet",
+]

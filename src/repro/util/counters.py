@@ -1,0 +1,56 @@
+"""Named event counters.
+
+Several experiments assert *absence* claims from the paper — e.g.
+"no inter-gateway communication ever takes place" (Sec. 4.2) and
+"no needless conversions" (Sec. 5).  Absence is only checkable when the
+relevant events are counted at the point they would occur, so the NTCS
+layers increment :class:`CounterSet` entries and the benches read them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Tuple
+
+
+class CounterSet:
+    """A mutable set of named integer counters.
+
+    >>> c = CounterSet()
+    >>> c.incr("sends"); c.incr("sends", 2)
+    >>> c["sends"]
+    3
+    >>> c["never_touched"]
+    0
+    """
+
+    def __init__(self):
+        self._counts: Counter = Counter()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add to one named counter (default +1)."""
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def reset(self, name: str = None) -> None:
+        """Reset one counter, or all of them when ``name`` is None."""
+        if name is None:
+            self._counts.clear()
+        else:
+            self._counts.pop(name, None)
+
+    def snapshot(self) -> Dict[str, int]:
+        """An immutable copy of the current counts."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"CounterSet({inner})"

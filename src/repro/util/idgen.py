@@ -1,0 +1,33 @@
+"""Deterministic sequence generation.
+
+The paper generates UAdds with "a simple monotonically increasing
+counter" (Sec. 3.2); every id-like value in this reproduction comes from
+a :class:`SequenceGenerator` so runs are deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class SequenceGenerator:
+    """A monotonically increasing integer sequence starting at ``start``.
+
+    >>> gen = SequenceGenerator()
+    >>> gen.next(), gen.next(), gen.next()
+    (1, 2, 3)
+    """
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+        self._last = start - 1
+
+    def next(self) -> int:
+        """Return the next value in the sequence."""
+        self._last = next(self._counter)
+        return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently issued value (``start - 1`` if none yet)."""
+        return self._last

@@ -1,0 +1,16 @@
+"""A portable window manager for message-based systems (paper ref [22],
+Schlegel 1985 — built on the NTCS as part of the URSA project).
+
+A second, independent application domain on the same ComMod API: a
+window-manager module owns a set of text windows; client modules
+anywhere in the distributed system create windows, write text, and
+receive user-input events — all as NTCS messages.  Demonstrates the
+paper's claim that the NTCS supports "a large class of message-based,
+distributed applications", not just information retrieval.
+"""
+
+from repro.wm.protocol import register_wm_types
+from repro.wm.server import WindowManager
+from repro.wm.client import WindowClient
+
+__all__ = ["register_wm_types", "WindowManager", "WindowClient"]

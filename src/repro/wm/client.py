@@ -1,0 +1,94 @@
+"""The window-manager client library: what an application module links
+to draw windows on a (possibly remote) workstation."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.commod import ComMod
+from repro.errors import NtcsError
+from repro.ntcs.address import Address
+from repro.ntcs.lcm import IncomingMessage
+from repro.wm.server import WM_NAME
+
+
+class WindowClient:
+    """Create/write/snapshot windows by logical service name.
+
+    Install an ``on_input`` callback to receive user-input events; the
+    client multiplexes them with whatever other messages the module
+    handles (the handler chain is explicit, no magic)."""
+
+    def __init__(self, commod: ComMod, wm_name: str = WM_NAME,
+                 on_input: Optional[Callable[[int, str], None]] = None):
+        self.commod = commod
+        self.wm_name = wm_name
+        self._wm_uadd: Optional[Address] = None
+        self.on_input = on_input
+        self._previous_handler = commod.nucleus.lcm._handler
+        commod.ali.set_request_handler(self._dispatch)
+
+    def _dispatch(self, message: IncomingMessage) -> None:
+        if message.type_name == "wm_input":
+            if self.on_input is not None:
+                self.on_input(
+                    message.values["window_id"],
+                    message.values["text"].decode("ascii", errors="replace"),
+                )
+            return
+        if self._previous_handler is not None:
+            self._previous_handler(message)
+
+    @property
+    def wm_uadd(self) -> Address:
+        if self._wm_uadd is None:
+            self._wm_uadd = self.commod.ali.locate(self.wm_name)
+        return self._wm_uadd
+
+    # -- operations ----------------------------------------------------------
+
+    def create(self, title: str, width: int = 40, height: int = 10) -> int:
+        """Create a window; returns its id.  Raises NtcsError on
+        refusal."""
+        reply = self.commod.ali.call(self.wm_uadd, "wm_create", {
+            "title": title, "width": width, "height": height,
+        })
+        if not reply.values["ok"]:
+            raise NtcsError(f"window refused: {reply.values['detail']}")
+        return reply.values["window_id"]
+
+    def write(self, window_id: int, row: int, text: str) -> bool:
+        """Replace one row of a window; True on success."""
+        reply = self.commod.ali.call(self.wm_uadd, "wm_write", {
+            "window_id": window_id, "row": row,
+            "text": text.encode("ascii", errors="replace"),
+        })
+        return bool(reply.values["ok"])
+
+    def snapshot(self, window_id: int) -> Optional[Tuple[str, List[str]]]:
+        """(title, rows) of a window, or None if it does not exist."""
+        reply = self.commod.ali.call(self.wm_uadd, "wm_snapshot", {
+            "window_id": window_id,
+        })
+        if not reply.values["ok"]:
+            return None
+        rows = reply.values["rows"].decode("ascii", errors="replace")
+        return reply.values["title"], rows.split("\n")
+
+    def close(self, window_id: int) -> bool:
+        """Destroy a window this module owns; True on success."""
+        reply = self.commod.ali.call(self.wm_uadd, "wm_close", {
+            "window_id": window_id,
+        })
+        return bool(reply.values["ok"])
+
+    def list_windows(self) -> List[Tuple[int, str]]:
+        """All windows on the display: [(id, title)]."""
+        reply = self.commod.ali.call(self.wm_uadd, "wm_list", {})
+        text = reply.values["titles"].decode("ascii", errors="replace")
+        out = []
+        for line in text.split("\n"):
+            if line:
+                wid, _, title = line.partition(":")
+                out.append((int(wid), title))
+        return out

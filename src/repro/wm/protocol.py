@@ -1,0 +1,66 @@
+"""Window-manager wire structures (application type ids 80–89)."""
+
+from __future__ import annotations
+
+from repro.conversion import ConversionRegistry, Field, StructDef
+
+T_WM_CREATE = 80
+T_WM_CREATED = 81
+T_WM_WRITE = 82
+T_WM_ACK = 83
+T_WM_SNAPSHOT = 84
+T_WM_CONTENTS = 85
+T_WM_CLOSE = 86
+T_WM_INPUT = 87
+T_WM_LIST = 88
+T_WM_LIST_REPLY = 89
+
+_STRUCTS = [
+    StructDef("wm_create", T_WM_CREATE, [
+        Field("title", "char[32]"),
+        Field("width", "u16"),
+        Field("height", "u16"),
+    ]),
+    StructDef("wm_created", T_WM_CREATED, [
+        Field("ok", "u8"),
+        Field("window_id", "u32"),
+        Field("detail", "char[64]"),
+    ]),
+    StructDef("wm_write", T_WM_WRITE, [
+        Field("window_id", "u32"),
+        Field("row", "u16"),
+        Field("text", "bytes"),
+    ]),
+    StructDef("wm_ack", T_WM_ACK, [
+        Field("ok", "u8"),
+        Field("detail", "char[64]"),
+    ]),
+    StructDef("wm_snapshot", T_WM_SNAPSHOT, [
+        Field("window_id", "u32"),
+    ]),
+    StructDef("wm_contents", T_WM_CONTENTS, [
+        Field("ok", "u8"),
+        Field("window_id", "u32"),
+        Field("title", "char[32]"),
+        Field("rows", "bytes"),        # newline-separated rows
+    ]),
+    StructDef("wm_close", T_WM_CLOSE, [
+        Field("window_id", "u32"),
+    ]),
+    # Input events flow server -> owning client, connectionless.
+    StructDef("wm_input", T_WM_INPUT, [
+        Field("window_id", "u32"),
+        Field("text", "bytes"),
+    ]),
+    StructDef("wm_list", T_WM_LIST, []),
+    StructDef("wm_list_reply", T_WM_LIST_REPLY, [
+        Field("count", "u32"),
+        Field("titles", "bytes"),      # newline-separated "id:title"
+    ]),
+]
+
+
+def register_wm_types(registry: ConversionRegistry) -> None:
+    """Install the window-manager wire structures into a registry."""
+    for sdef in _STRUCTS:
+        registry.register(sdef)

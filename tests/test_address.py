@@ -1,0 +1,122 @@
+"""Unit tests for NTCS addressing: UAdds, TAdds, blobs, the cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NtcsError
+from repro.ntcs.address import (
+    Address,
+    AddressCache,
+    NAME_SERVER_UADD,
+    TAddAllocator,
+    blob_network,
+    blob_protocol,
+    make_uadd,
+)
+
+
+def test_uadd_basics():
+    addr = make_uadd(42)
+    assert not addr.temporary
+    assert str(addr) == "U#42"
+
+
+def test_tadd_allocator_is_local_and_monotonic():
+    alloc_a = TAddAllocator()
+    alloc_b = TAddAllocator()
+    a1, a2 = alloc_a.allocate(), alloc_a.allocate()
+    b1 = alloc_b.allocate()
+    assert a1.temporary and a2.temporary
+    assert a1 != a2
+    # Only locally unique (Sec. 3.4): two modules produce equal TAdds.
+    assert a1 == b1
+
+
+def test_name_server_uadd_convention():
+    assert NAME_SERVER_UADD == make_uadd(1)
+    assert not NAME_SERVER_UADD.temporary
+
+
+def test_server_id_namespacing():
+    a = make_uadd(7, server_id=1)
+    b = make_uadd(7, server_id=2)
+    assert a != b
+
+
+def test_address_value_range_enforced():
+    with pytest.raises(NtcsError):
+        Address(value=0)
+    with pytest.raises(NtcsError):
+        Address(value=2 ** 63)  # collides with the temporary bit
+
+
+def test_wire_round_trip_preserves_temporary_bit():
+    for addr in (make_uadd(99), Address(value=5, temporary=True)):
+        high, low = addr.to_u32_pair()
+        assert Address.from_u32_pair(high, low) == addr
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=st.integers(1, 2 ** 63 - 1), temporary=st.booleans())
+def test_property_wire_round_trip(value, temporary):
+    addr = Address(value=value, temporary=temporary)
+    assert Address.from_u32_pair(*addr.to_u32_pair()) == addr
+
+
+def test_addresses_are_hashable_table_keys():
+    table = {make_uadd(1): "a", Address(value=1, temporary=True): "b"}
+    assert len(table) == 2  # UAdd 1 and TAdd 1 are distinct keys
+
+
+# -- blob helpers -------------------------------------------------------------
+
+def test_blob_helpers():
+    assert blob_protocol("tcp:ether0:vax1:5000") == "tcp"
+    assert blob_network("tcp:ether0:vax1:5000") == "ether0"
+    assert blob_protocol("mbx:ring0://apollo2/mbx/ns") == "mbx"
+    assert blob_network("mbx:ring0://apollo2/mbx/ns") == "ring0"
+
+
+def test_malformed_blob_rejected():
+    with pytest.raises(NtcsError):
+        blob_network("garbage")
+
+
+# -- the ND-Layer cache -----------------------------------------------------
+
+def test_cache_store_lookup_invalidate():
+    cache = AddressCache()
+    addr = make_uadd(10)
+    assert cache.lookup(addr) is None
+    cache.store(addr, "tcp:ether0:vax1:5000", "VAX")
+    entry = cache.lookup(addr)
+    assert entry.blob == "tcp:ether0:vax1:5000"
+    assert entry.mtype_name == "VAX"
+    assert cache.hits == 1 and cache.misses == 1
+    cache.invalidate(addr)
+    assert cache.lookup(addr) is None
+
+
+def test_cache_tadd_purge():
+    cache = AddressCache()
+    tadd = Address(value=3, temporary=True)
+    uadd = make_uadd(30)
+    cache.store(tadd, "tcp:ether0:vax1:5000", "VAX")
+    assert cache.temporary_entries() == 1
+    assert cache.replace_tadd(tadd, uadd) is True
+    assert cache.temporary_entries() == 0
+    assert cache.tadds_purged == 1
+    assert cache.lookup(uadd).blob == "tcp:ether0:vax1:5000"
+    assert tadd not in cache
+
+
+def test_cache_purge_rules():
+    cache = AddressCache()
+    uadd = make_uadd(1)
+    tadd = Address(value=1, temporary=True)
+    # Only TAdd → UAdd replacements are legal.
+    assert cache.replace_tadd(uadd, make_uadd(2)) is False
+    assert cache.replace_tadd(tadd, Address(value=2, temporary=True)) is False
+    # Replacing an absent TAdd is a no-op.
+    assert cache.replace_tadd(tadd, uadd) is False
+    assert cache.tadds_purged == 0

@@ -1,0 +1,97 @@
+"""Exhaustive checks of the ALI-Layer veneer: parameter checking,
+error tailoring, and the utility primitives (paper Sec. 2.4)."""
+
+import pytest
+
+from deployments import echo_server, single_net
+from repro.errors import BadParameter, NotRegistered
+
+
+@pytest.fixture
+def bed():
+    return single_net()
+
+
+def test_register_name_validation(bed):
+    commod = bed.module("anon", "sun1", register=False)
+    with pytest.raises(BadParameter):
+        commod.ali.register("")
+    with pytest.raises(BadParameter):
+        commod.ali.register(123)
+    with pytest.raises(BadParameter):
+        commod.ali.register("x" * 80)  # longer than the wire field
+
+
+def test_locate_by_attrs_validation(bed):
+    commod = bed.module("checker", "sun1")
+    with pytest.raises(BadParameter):
+        commod.ali.locate_by_attrs({})
+    with pytest.raises(BadParameter):
+        commod.ali.locate_by_attrs("kind=index")
+
+
+def test_deregister_requires_registration(bed):
+    commod = bed.module("anon", "sun1", register=False)
+    with pytest.raises(NotRegistered):
+        commod.ali.deregister()
+
+
+def test_reply_validation(bed):
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1")
+    with pytest.raises(BadParameter):
+        client.ali.reply("not a message", "echo", {})
+    # A non-reply-expected message cannot be replied to.
+    sink = bed.module("sink", "sun1")
+    src = bed.module("src", "vax1")
+    uadd = src.ali.locate("sink")
+    src.ali.send(uadd, "echo", {"n": 1, "text": ""})
+    message = sink.ali.receive(timeout=1.0)
+    with pytest.raises(BadParameter):
+        sink.ali.reply(message, "echo", {})
+
+
+def test_call_async_validation(bed):
+    commod = bed.module("checker", "sun1")
+    peer = bed.module("peer", "vax1")
+    uadd = commod.ali.locate("peer")
+    with pytest.raises(BadParameter):
+        commod.ali.call_async("nope", "echo", {})
+    with pytest.raises(BadParameter):
+        commod.ali.call_async(uadd, "ghost_type", {})
+
+
+def test_receive_timeout_validation(bed):
+    commod = bed.module("checker", "sun1")
+    with pytest.raises(BadParameter):
+        commod.ali.receive(timeout=0)
+
+
+def test_values_default_to_empty_dict(bed):
+    """None values are accepted and mean 'no fields' for empty types."""
+    sink = bed.module("sink", "sun1")
+    src = bed.module("src", "vax1")
+    uadd = src.ali.locate("sink")
+    # ns_ping is a registered empty struct; use it as a payloadless type.
+    src.ali.datagram(uadd, "ns_ping", None)
+    bed.settle()
+    assert sink.ali.receive(timeout=0.5).type_name == "ns_ping"
+
+
+def test_my_address_tracks_identity(bed):
+    commod = bed.module("anon", "sun1", register=False)
+    assert commod.ali.my_address().temporary
+    uadd = commod.ali.register("anon")
+    assert commod.ali.my_address() == uadd
+
+
+def test_status_reflects_live_state(bed):
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1")
+    before = client.ali.status()
+    assert before["open_circuits"] >= 1  # the registration circuit
+    uadd = client.ali.locate("dest")
+    client.ali.call(uadd, "echo", {"n": 1, "text": "x"})
+    after = client.ali.status()
+    assert after["open_circuits"] >= before["open_circuits"]
+    assert after["max_recursion_depth"] >= 1

@@ -1,0 +1,76 @@
+"""End-to-end tests of attribute-value naming over the wire: a Name
+Server running the AttributeNameDatabase, queried with predicates, and
+forwarding by attribute similarity after a relocation."""
+
+import pytest
+
+from deployments import register_app_types
+from repro import SUN3, Testbed, VAX
+from repro.naming.attributes import AttributeNameDatabase
+
+
+@pytest.fixture
+def bed():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.machine("vax1", VAX, networks=["ether0"])
+    bed.machine("sun1", SUN3, networks=["ether0"])
+    bed.machine("sun2", SUN3, networks=["ether0"])
+    bed.name_server("vax1", db=AttributeNameDatabase())
+    register_app_types(bed)
+    return bed
+
+
+def test_predicate_query_over_the_wire(bed):
+    bed.module("idx.1", "sun1", attrs={"kind": "index", "shard": "1"})
+    bed.module("idx.2", "sun2", attrs={"kind": "index", "shard": "2"})
+    bed.module("idx.3", "sun1", attrs={"kind": "index", "shard": "3"})
+    bed.module("search", "sun2", attrs={"kind": "search"})
+    client = bed.module("client", "vax1")
+    records = client.nsp.query_predicates("kind=index;shard<=2")
+    assert sorted(r.name for r in records) == ["idx.1", "idx.2"]
+    records = client.nsp.query_predicates("shard>2")
+    assert [r.name for r in records] == ["idx.3"]
+    records = client.nsp.query_predicates("kind~ear")
+    assert [r.name for r in records] == ["search"]
+
+
+def test_exact_queries_still_work_with_attribute_db(bed):
+    bed.module("tagged", "sun1", attrs={"kind": "demo"})
+    client = bed.module("client", "vax1")
+    records = client.ali.locate_by_attrs({"kind": "demo"})
+    assert [r.name for r in records] == ["tagged"]
+
+
+def test_similarity_forwarding_over_the_wire(bed):
+    """A module dies; a *differently named* module with matching
+    attributes takes over — the attribute database's forwarding finds
+    it and the client's stale UAdd keeps working (Sec. 3.5's "with our
+    new attribute-based naming, this is more involved")."""
+    old = bed.module("worker.v1", "sun1",
+                     attrs={"kind": "index", "shard": "1"})
+
+    def install(commod, tag):
+        def handle(request):
+            if request.reply_expected:
+                commod.ali.reply(request, "echo", {
+                    "n": request.values["n"], "text": tag,
+                })
+        commod.ali.set_request_handler(handle)
+
+    install(old, "v1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("worker.v1")
+    assert client.ali.call(uadd, "echo",
+                           {"n": 1, "text": ""}).values["text"] == "v1"
+
+    # The replacement has a NEW name but the same attributes.
+    replacement = bed.module("worker.v2", "sun2",
+                             attrs={"kind": "index", "shard": "1"})
+    install(replacement, "v2")
+    old.process.kill()
+    bed.settle()
+
+    reply = client.ali.call(uadd, "echo", {"n": 2, "text": ""})
+    assert reply.values["text"] == "v2"
+    assert uadd in client.nucleus.lcm.forwarding

@@ -1,0 +1,64 @@
+"""Determinism tests: the simulation substrate makes every experiment
+exactly reproducible — same build steps, same virtual timeline, same
+traces, same counters."""
+
+from deployments import echo_server, single_net, two_nets
+from repro.ntcs.nucleus import NucleusConfig
+
+
+def _run_scenario():
+    bed = single_net(config=NucleusConfig(trace=True))
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("dest")
+    for i in range(5):
+        client.ali.call(uadd, "echo", {"n": i, "text": f"msg{i}"})
+    bed.settle()
+    trace = [(r.time, r.layer, r.operation, r.phase, r.depth)
+             for r in client.nucleus.tracer.records]
+    return {
+        "now": bed.now,
+        "events": bed.scheduler.events_processed,
+        "frames": bed.networks["ether0"].frames_sent,
+        "bytes": bed.networks["ether0"].bytes_sent,
+        "counters": client.nucleus.counters.snapshot(),
+        "trace": trace,
+        "ns_counters": bed.name_server_instance.counters.snapshot(),
+    }
+
+
+def test_identical_runs_produce_identical_timelines():
+    first = _run_scenario()
+    second = _run_scenario()
+    assert first == second
+
+
+def _run_faulty_scenario(seed):
+    bed = two_nets()
+    bed.networks["ether0"].faults._rng.seed(seed)
+    bed.networks["ether0"].faults.drop_probability = 0.05
+    received = []
+    sink = bed.module("ring.sink", "apollo1")
+    sink.ali.set_request_handler(lambda m: received.append(m.values["n"]))
+    src = bed.module("src", "vax1")
+    uadd = src.ali.locate("ring.sink")
+    for i in range(30):
+        src.ali.send(uadd, "echo", {"n": i, "text": ""})
+        bed.run_for(0.02)
+    bed.settle()
+    return received, bed.scheduler.events_processed
+
+
+def test_seeded_faults_are_reproducible():
+    run_a = _run_faulty_scenario(seed=7)
+    run_b = _run_faulty_scenario(seed=7)
+    assert run_a == run_b
+
+
+def test_different_seeds_diverge():
+    run_a = _run_faulty_scenario(seed=7)
+    run_b = _run_faulty_scenario(seed=8)
+    # Different loss patterns almost surely process different event
+    # counts; if not, the delivered sets must still match (TCP hides
+    # loss) so compare the full tuple only loosely.
+    assert run_a[0] == run_b[0] or run_a[1] != run_b[1]

@@ -1,0 +1,60 @@
+"""Documentation quality gate: every public module, class and function
+in the library carries a docstring (deliverable (e): "doc comments on
+every public item")."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for module_info in pkgutil.walk_packages(repro.__path__,
+                                             prefix="repro."):
+        yield importlib.import_module(module_info.name)
+
+
+_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", _MODULES,
+                         ids=[m.__name__ for m in _MODULES])
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} lacks a module docstring"
+    )
+
+
+def _public_items(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at home
+        yield name, obj
+
+
+@pytest.mark.parametrize("module", _MODULES,
+                         ids=[m.__name__ for m in _MODULES])
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in _public_items(module):
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not (method.__doc__ and method.__doc__.strip()):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module.__name__}: undocumented public items: {undocumented}"
+    )

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run to completion.
+
+Keeps the examples honest as the library evolves — each is executed in
+a subprocess and its key output lines are checked."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+_EXPECTATIONS = {
+    "quickstart.py": ["hello, world!", "status"],
+    "ursa_search.py": ["inter-gateway control messages: 0"],
+    "reconfiguration.py": ["relocations followed:   2"],
+    "heterogeneous.py": ["byte-swapped garbage"],
+    "realsockets.py": ["deployment shut down cleanly"],
+    "drts_services.py": ["same UAdd, new machine"],
+    "windows.py": ["application received input events"],
+    "recursion_trace.py": ["RecursionLimitExceeded", "NameServerUnreachable"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(_EXPECTATIONS))
+def test_example_runs(script):
+    path = os.path.join(_EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for expected in _EXPECTATIONS[script]:
+        assert expected in result.stdout, (
+            f"{script} output missing {expected!r}:\n{result.stdout[-2000:]}"
+        )
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {f for f in os.listdir(_EXAMPLES_DIR) if f.endswith(".py")}
+    assert scripts == set(_EXPECTATIONS), (
+        "examples and smoke expectations out of sync"
+    )

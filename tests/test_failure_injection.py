@@ -1,0 +1,124 @@
+"""Failure-injection tests: wire loss, partitions, crashes — the NTCS
+behaviour under a misbehaving substrate."""
+
+import pytest
+
+from deployments import echo_server, single_net, two_nets
+from repro.errors import DestinationUnavailable, ReplyTimeout
+
+
+def test_probabilistic_wire_loss_is_absorbed_by_tcp():
+    """Moderate random datagram loss on the wire is hidden from the
+    NTCS by the native IPCS's retransmission — calls still succeed."""
+    bed = single_net()
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("dest")
+    client.ali.call(uadd, "echo", {"n": 0, "text": "warm"})
+    bed.networks["ether0"].faults.drop_probability = 0.10
+    for i in range(30):
+        reply = client.ali.call(uadd, "echo", {"n": i, "text": "lossy"},
+                                timeout=5.0)
+        assert reply.values["n"] == i
+    ipcs = bed.machines["vax1"].ipcs_for("ether0", "tcp")
+    assert ipcs.segments_retransmitted > 0
+
+
+def test_partition_then_heal_recovers_conversation():
+    bed = single_net()
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("dest")
+    client.ali.call(uadd, "echo", {"n": 0, "text": "before"})
+    bed.networks["ether0"].faults.partition({"vax1"}, {"sun1"})
+    with pytest.raises((DestinationUnavailable, ReplyTimeout)):
+        client.ali.call(uadd, "echo", {"n": 1, "text": "during"},
+                        timeout=0.5)
+    bed.networks["ether0"].faults.heal_partition()
+    bed.settle()
+    reply = client.ali.call(uadd, "echo", {"n": 2, "text": "after"})
+    assert reply.values["text"] == "AFTER"
+
+
+def test_machine_crash_mid_call_fails_cleanly():
+    bed = single_net()
+    crashing = bed.module("crashy", "sun1")
+
+    def handle(request):
+        # Crash while holding the request — no reply will ever come.
+        bed.machines["sun1"].crash()
+
+    crashing.ali.set_request_handler(handle)
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("crashy")
+    with pytest.raises((DestinationUnavailable, ReplyTimeout)):
+        client.ali.call(uadd, "echo", {"n": 1, "text": "x"}, timeout=1.0)
+    # The client is healthy afterwards.
+    assert client.nucleus.depth == 0
+
+
+def test_gateway_drops_counted_during_ring_failure():
+    """Traffic in flight through a gateway when its downstream leg dies
+    is dropped and counted (Sec. 4.3's "messages may get lost in
+    Gateway queues")."""
+    bed = two_nets()
+    sink = bed.module("ring.sink", "apollo1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("ring.sink")
+    client.ali.send(uadd, "echo", {"n": 0, "text": "warm"})
+    bed.settle()
+    # Kill the sink's host abruptly, then keep sending before the
+    # teardown has propagated: the gateway forwards into the void.
+    bed.machines["apollo1"].crash()
+    for i in range(5):
+        try:
+            client.ali.send(uadd, "echo", {"n": i, "text": "void"})
+        except DestinationUnavailable:
+            break
+    bed.settle()
+    gw_stacks = bed.gateways["gw1"].stacks.values()
+    dropped = sum(nucleus.counters["gateway_messages_dropped"]
+                  for nucleus in gw_stacks)
+    faults = client.nucleus.counters["lcm_circuit_faults"]
+    assert dropped >= 1 or faults >= 1  # either counted or detected first
+
+
+def test_mbx_ring_loss_aborts_but_system_recovers():
+    """The MBX IPCS does not retransmit: a lost record kills the
+    circuit, and the LCM's implicit reopen carries the next message."""
+    bed = two_nets()
+    received = []
+    sink = bed.module("ring.sink", "apollo2")
+    sink.ali.set_request_handler(lambda m: received.append(m.values["n"]))
+    src = bed.module("ring.src", "apollo1")
+    uadd = src.ali.locate("ring.sink")
+    src.ali.send(uadd, "echo", {"n": 0, "text": ""})
+    bed.settle()
+    bed.networks["ring0"].faults.drop_next(1)
+    src.ali.send(uadd, "echo", {"n": 1, "text": ""})  # lost + circuit dies
+    bed.settle()
+    src.ali.send(uadd, "echo", {"n": 2, "text": ""})  # implicit reopen
+    bed.settle()
+    assert 0 in received and 2 in received
+    assert src.nucleus.counters["lcm_circuit_faults"] >= 1
+
+
+def test_interleaved_failures_do_not_corrupt_ordering():
+    """Loss + recovery must never reorder or duplicate what is
+    delivered on one circuit."""
+    bed = single_net()
+    received = []
+    sink = bed.module("sink", "sun1")
+    sink.ali.set_request_handler(lambda m: received.append(m.values["n"]))
+    src = bed.module("src", "vax1")
+    uadd = src.ali.locate("sink")
+    bed.networks["ether0"].faults.drop_probability = 0.05
+    for i in range(100):
+        src.ali.send(uadd, "echo", {"n": i, "text": ""})
+        if i % 10 == 0:
+            bed.run_for(0.05)
+    bed.networks["ether0"].faults.drop_probability = 0.0
+    bed.settle()
+    # TCP under the hood: everything delivered, in order, exactly once.
+    assert received == sorted(set(received))
+    assert received == list(range(100))

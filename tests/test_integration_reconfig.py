@@ -1,0 +1,200 @@
+"""Integration tests for dynamic reconfiguration (paper Sec. 3.5):
+relocation, forwarding, the still-alive case, message loss windows."""
+
+import pytest
+
+from deployments import echo_server, single_net, two_nets
+from repro import SUN3, VAX
+from repro.drts.proctl import ProcessController
+from repro.errors import DestinationUnavailable
+
+
+def _echo_rebuild(old, new):
+    def handle(request):
+        if request.reply_expected:
+            new.ali.reply(request, "echo", {
+                "n": request.values["n"],
+                "text": f"{request.values['text'].upper()}@{new.nucleus.machine.name}",
+            })
+    new.ali.set_request_handler(handle)
+
+
+@pytest.fixture
+def bed():
+    bed = single_net()
+    bed.machine("sun2", SUN3, networks=["ether0"])
+    bed.machine("vax2", VAX, networks=["ether0"])
+    return bed
+
+
+def test_relocation_transparent_to_old_uadd(bed):
+    """"An application module need only obtain an address once; module
+    relocation will then occur as required, during all communication,
+    transparent at this interface" (Sec. 1.3)."""
+    echo_server(bed, "server", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("server")
+    assert client.ali.call(uadd, "echo", {"n": 1, "text": "a"}).values["text"] == "A"
+
+    controller = ProcessController(bed)
+    controller.relocate("server", "sun2", rebuild=_echo_rebuild)
+
+    reply = client.ali.call(uadd, "echo", {"n": 2, "text": "b"})
+    assert reply.values["text"] == "B@sun2"
+    # The old UAdd now forwards.
+    assert uadd in client.nucleus.lcm.forwarding
+
+
+def test_relocation_across_machine_types_switches_mode(bed):
+    """Sec. 5: conversion "adapts dynamically to the environment as
+    modules are relocated" — Sun→Sun image becomes Sun→VAX packed."""
+    sink = bed.module("sink", "sun2")
+    received = []
+    sink.ali.set_request_handler(lambda msg: received.append(msg))
+    src = bed.module("src", "sun1")
+    uadd = src.ali.locate("sink")
+    src.ali.send(uadd, "numbers", {"a": 1, "b": 2, "big": 3})
+    bed.settle()
+    assert received[-1].mode == 0  # image between two Sun-3s
+
+    controller = ProcessController(bed)
+    new_received = []
+
+    def rebuild(old, new):
+        new.ali.set_request_handler(lambda msg: new_received.append(msg))
+
+    controller.relocate("sink", "vax2", rebuild=rebuild)
+    bed.settle()  # let the old circuit's close notification land
+    src.ali.send(uadd, "numbers", {"a": 0x0A0B0C0D, "b": -9, "big": 2 ** 50})
+    bed.settle()
+    assert new_received[-1].mode == 1  # packed to the VAX now
+    assert new_received[-1].values["a"] == 0x0A0B0C0D
+
+
+def test_repeated_relocation_follows_forwarding_chain(bed):
+    echo_server(bed, "server", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("server")
+    controller = ProcessController(bed)
+    for target in ("sun2", "vax2", "sun1"):
+        controller.relocate("server", target, rebuild=_echo_rebuild)
+        reply = client.ali.call(uadd, "echo", {"n": 0, "text": "t"})
+        assert reply.values["text"].endswith(f"@{target}")
+
+
+def test_module_still_alive_reconnects(bed):
+    """Sec. 3.5's second case: the module did not move; the link broke.
+    The LCM reestablishes "what appears to be a broken communication
+    link"."""
+    echo_server(bed, "server", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("server")
+    client.ali.call(uadd, "echo", {"n": 1, "text": "a"})
+    # Sever, let the circuit die, then heal.
+    bed.networks["ether0"].faults.sever("vax1", "sun1")
+    with pytest.raises(DestinationUnavailable):
+        client.ali.call(uadd, "echo", {"n": 2, "text": "b"}, timeout=1.0)
+    bed.networks["ether0"].faults.heal("vax1", "sun1")
+    reply = client.ali.call(uadd, "echo", {"n": 3, "text": "c"})
+    assert reply.values["text"] == "C"
+    assert client.nucleus.counters["lcm_reconnect_attempts"] >= 1
+
+
+def test_no_replacement_module_is_an_error(bed):
+    """Sec. 3.5's first case: "no replacement module was located ...
+    the call will simply return with an error"."""
+    victim = bed.module("victim", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("victim")
+    victim.process.kill()
+    bed.settle()
+    with pytest.raises(DestinationUnavailable, match="no replacement"):
+        client.ali.call(uadd, "echo", {"n": 1, "text": "x"}, timeout=1.0)
+
+
+def test_static_environment_loses_no_messages(bed):
+    """Sec. 3.5: "the NTCS can not lose messages in a static
+    environment"."""
+    received = []
+    sink = bed.module("sink", "sun1")
+    sink.ali.set_request_handler(lambda m: received.append(m.values["n"]))
+    src = bed.module("src", "vax1")
+    uadd = src.ali.locate("sink")
+    for i in range(200):
+        src.ali.send(uadd, "echo", {"n": i, "text": ""})
+    bed.settle()
+    assert received == list(range(200))
+
+
+def test_messages_may_drop_during_relocation(bed):
+    """Sec. 3.5: "they can be dropped due to the nature of dynamic
+    reconfiguration" — sends racing the relocation window may vanish;
+    the stream recovers afterwards."""
+    received = []
+
+    def make_handler(commod):
+        def handle(msg):
+            received.append(msg.values["n"])
+        return handle
+
+    sink = bed.module("sink", "sun1")
+    sink.ali.set_request_handler(make_handler(sink))
+    src = bed.module("src", "vax1")
+    uadd = src.ali.locate("sink")
+    controller = ProcessController(bed)
+
+    sent = 0
+    for burst in range(4):
+        for _ in range(25):
+            src.ali.send(uadd, "echo", {"n": sent, "text": ""})
+            sent += 1
+        if burst == 1:
+            # Relocate mid-stream without letting the queue drain:
+            # whatever is in flight toward the old process may drop.
+            controller.relocate(
+                "sink", "sun2",
+                rebuild=lambda old, new: new.ali.set_request_handler(
+                    make_handler(new)),
+            )
+        # Let the wire drain between bursts (fault detection included).
+        bed.run_for(0.1)
+    bed.settle()
+    delivered = set(received)
+    assert len(delivered) == len(received)  # no duplicates
+    assert len(delivered) <= sent           # drops allowed...
+    # ...but the stream recovered: the post-recovery tail is intact.
+    assert sent - 1 in delivered
+    assert len(delivered) >= sent * 0.5
+
+
+def test_relocation_across_networks():
+    """Relocate from the ring to the ethernet: the forwarding address
+    leads to a different network and the new circuit crosses no
+    gateway."""
+    bed = two_nets()
+    echo_server(bed, "server", "apollo1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("server")
+    client.ali.call(uadd, "echo", {"n": 1, "text": "ring"})
+    controller = ProcessController(bed)
+    controller.relocate("server", "sun1", rebuild=_echo_rebuild)
+    reply = client.ali.call(uadd, "echo", {"n": 2, "text": "moved"})
+    assert reply.values["text"] == "MOVED@sun1"
+
+
+def test_abrupt_relocation_discovered_by_supersession():
+    """graceful=False: the old module vanishes without deregistering;
+    the naming service discovers the move only because a newer
+    same-name registration exists."""
+    bed = single_net()
+    bed.machine("sun2", SUN3, networks=["ether0"])
+    echo_server(bed, "server", "sun1")
+    client = bed.module("client", "vax1")
+    uadd = client.ali.locate("server")
+    client.ali.call(uadd, "echo", {"n": 1, "text": "a"})
+    controller = ProcessController(bed)
+    controller.relocate("server", "sun2", rebuild=_echo_rebuild, graceful=False)
+    db = bed.name_server_instance.db
+    assert db.resolve_uadd(uadd).alive is True  # never deregistered
+    reply = client.ali.call(uadd, "echo", {"n": 2, "text": "b"})
+    assert reply.values["text"] == "B@sun2"

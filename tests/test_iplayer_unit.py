@@ -1,0 +1,155 @@
+"""Focused tests for IP-Layer mechanics: route planning, the BFS over
+gateway adjacency, route-cache behaviour."""
+
+import pytest
+
+from deployments import echo_server, single_net
+from repro import Testbed, SUN3, VAX
+from repro.errors import AddressFault, NoSuchAddress, RouteNotFound
+from repro.naming.protocol import NameRecord
+from repro.ntcs.address import Address, make_uadd
+
+
+class FakeNsp:
+    """An NSP stub serving canned records and gateway lists."""
+
+    def __init__(self, records=(), gateways=()):
+        self._records = {r.uadd: r for r in records}
+        self.gateways = list(gateways)
+        self.resolve_calls = 0
+
+    def resolve_uadd(self, uadd):
+        self.resolve_calls += 1
+        try:
+            return self._records[uadd]
+        except KeyError:
+            raise NoSuchAddress(str(uadd))
+
+    def list_gateways(self):
+        return self.gateways
+
+
+def _gw_record(n, networks):
+    return NameRecord(
+        name=f"gw{n}", uadd=make_uadd(100 + n), mtype_name="Apollo",
+        attrs={"kind": "gateway"},
+        addresses=[(net, f"tcp:{net}:gw{n}:90") for net in networks],
+    )
+
+
+@pytest.fixture
+def ip_layer():
+    """A client module's IP-Layer with a fake NSP behind it."""
+    bed = single_net()
+    client = bed.module("client", "vax1")
+    return bed, client, client.nucleus.ip
+
+
+def test_plan_prefers_wellknown_for_ns(ip_layer):
+    bed, client, ip = ip_layer
+    plan = ip._plan(bed.wellknown.ns_uadd)
+    assert plan.direct
+    assert plan.blob == "tcp:ether0:vax1:411"
+
+
+def test_plan_uses_cache_before_nsp(ip_layer):
+    bed, client, ip = ip_layer
+    target = make_uadd(50)
+    client.nucleus.addr_cache.store(target, "tcp:ether0:sun1:7000", "Sun-3")
+    fake = FakeNsp()
+    client.nucleus.nsp = fake
+    plan = ip._plan(target)
+    assert plan.direct and plan.blob == "tcp:ether0:sun1:7000"
+    assert fake.resolve_calls == 0
+
+
+def test_plan_temporary_address_faults(ip_layer):
+    bed, client, ip = ip_layer
+    with pytest.raises(AddressFault, match="temporary"):
+        ip._plan(Address(value=3, temporary=True))
+
+
+def test_plan_never_asks_nsp_about_the_ns(ip_layer):
+    """Naming-service addresses with no cache entry must fault, not
+    recurse into the NSP (a Sec. 6.3 guard)."""
+    bed, client, ip = ip_layer
+    fake_ns_addr = make_uadd(77)
+    client.nucleus.ns_addresses.add(fake_ns_addr)
+    with pytest.raises(AddressFault, match="well-known"):
+        ip._plan(fake_ns_addr)
+
+
+def test_first_hop_bfs_multi_hop():
+    """BFS over gateway adjacency picks a first hop on the local
+    network even when the destination is several networks away."""
+    bed = single_net()
+    client = bed.module("client", "vax1")
+    ip = client.nucleus.ip
+    # Topology: ether0 -gw1- netB -gw2- netC; destination on netC.
+    client.nucleus.nsp = FakeNsp(gateways=[
+        _gw_record(1, ["ether0", "netB"]),
+        _gw_record(2, ["netB", "netC"]),
+    ])
+    gw_uadd, blob = ip._first_hop("ether0", "netC")
+    assert gw_uadd == make_uadd(101)  # gw1: the hop on OUR network
+    assert blob == "tcp:ether0:gw1:90"
+
+
+def test_first_hop_no_route():
+    bed = single_net()
+    client = bed.module("client", "vax1")
+    ip = client.nucleus.ip
+    client.nucleus.nsp = FakeNsp(gateways=[_gw_record(1, ["netX", "netY"])])
+    with pytest.raises(RouteNotFound):
+        ip._first_hop("ether0", "netZ")
+
+
+def test_first_hop_ignores_gateway_without_local_blob():
+    """A gateway chain whose first hop has no blob on the local network
+    cannot be used."""
+    bed = single_net()
+    client = bed.module("client", "vax1")
+    ip = client.nucleus.ip
+    broken = _gw_record(1, ["ether0", "netB"])
+    broken.addresses = [("netB", "tcp:netB:gw1:90")]  # no ether0 blob
+    client.nucleus.nsp = FakeNsp(gateways=[broken])
+    with pytest.raises(RouteNotFound):
+        ip._first_hop("ether0", "netB")
+
+
+def test_route_cache_populated_and_reused():
+    bed = single_net()
+    client = bed.module("client", "vax1")
+    ip = client.nucleus.ip
+    fake = FakeNsp(gateways=[_gw_record(1, ["ether0", "netB"])])
+    client.nucleus.nsp = fake
+    plan1 = ip._gateway_plan(make_uadd(60), "netB")
+    plan2 = ip._gateway_plan(make_uadd(61), "netB")
+    assert plan1.blob == plan2.blob
+    assert client.nucleus.counters["topology_queries"] == 1  # cached
+
+
+def test_plan_resolves_remote_entry_and_caches(ip_layer):
+    bed, client, ip = ip_layer
+    target = make_uadd(70)
+    record = NameRecord(
+        name="remote", uadd=target, mtype_name="Sun-3",
+        addresses=[("netB", "tcp:netB:far:70")],
+    )
+    client.nucleus.nsp = FakeNsp(
+        records=[record], gateways=[_gw_record(1, ["ether0", "netB"])])
+    plan = ip._plan(target)
+    assert not plan.direct
+    assert plan.dst_network == "netB"
+    # The remote blob was cached so the next plan skips resolution.
+    assert client.nucleus.addr_cache.lookup(target) is not None
+
+
+def test_plan_entry_without_addresses(ip_layer):
+    bed, client, ip = ip_layer
+    target = make_uadd(71)
+    record = NameRecord(name="ghost", uadd=target, mtype_name="VAX",
+                        addresses=[])
+    client.nucleus.nsp = FakeNsp(records=[record])
+    with pytest.raises(NoSuchAddress):
+        ip._plan(target)

@@ -1,0 +1,140 @@
+"""Unit tests for the name/address database (Secs. 3.2, 3.5)."""
+
+import pytest
+
+from repro.errors import (
+    ModuleStillAlive,
+    NoForwardingAddress,
+    NoSuchAddress,
+    NoSuchName,
+)
+from repro.naming.database import NameDatabase
+
+
+def _register(db, name, net="ether0", blob="tcp:ether0:m:1", **attrs):
+    return db.register(name, attrs, [(net, blob)], "VAX")
+
+
+def test_register_generates_monotonic_uadds():
+    db = NameDatabase()
+    r1 = _register(db, "a")
+    r2 = _register(db, "b")
+    assert r1.uadd.value == 1
+    assert r2.uadd.value == 2
+    assert not r1.uadd.temporary
+
+
+def test_server_id_prepended():
+    db = NameDatabase(server_id=3)
+    record = _register(db, "a")
+    assert record.uadd.value >> 48 == 3
+
+
+def test_two_level_resolution():
+    db = NameDatabase()
+    record = _register(db, "index.server", blob="tcp:ether0:sun1:4000")
+    # name -> UAdd
+    assert db.resolve_name("index.server").uadd == record.uadd
+    # UAdd -> physical location
+    located = db.resolve_uadd(record.uadd)
+    assert located.blob_on("ether0") == "tcp:ether0:sun1:4000"
+
+
+def test_resolution_errors():
+    db = NameDatabase()
+    with pytest.raises(NoSuchName):
+        db.resolve_name("ghost")
+    record = _register(db, "a")
+    from repro.ntcs.address import make_uadd
+    with pytest.raises(NoSuchAddress):
+        db.resolve_uadd(make_uadd(999))
+
+
+def test_resolve_name_returns_newest_alive():
+    db = NameDatabase()
+    old = _register(db, "server")
+    new = _register(db, "server")
+    assert db.resolve_name("server").uadd == new.uadd
+
+
+def test_deregister_tombstones():
+    db = NameDatabase()
+    record = _register(db, "a")
+    assert db.deregister(record.uadd) is True
+    assert db.deregister(record.uadd) is False  # idempotent
+    # The tombstone is still resolvable by UAdd (needed for forwarding).
+    assert db.resolve_uadd(record.uadd).alive is False
+    with pytest.raises(NoSuchName):
+        db.resolve_name("a")
+
+
+def test_forwarding_after_deregistration():
+    db = NameDatabase()
+    old = _register(db, "server")
+    db.deregister(old.uadd)
+    replacement = _register(db, "server")
+    assert db.lookup_forwarding(old.uadd).uadd == replacement.uadd
+
+
+def test_forwarding_by_supersession_without_deregistration():
+    """A crashed module cannot deregister; a newer registration with
+    the same name supersedes it."""
+    db = NameDatabase()
+    old = _register(db, "server")
+    replacement = _register(db, "server")
+    assert db.lookup_forwarding(old.uadd).uadd == replacement.uadd
+
+
+def test_forwarding_module_still_alive():
+    db = NameDatabase()
+    record = _register(db, "server")
+    with pytest.raises(ModuleStillAlive):
+        db.lookup_forwarding(record.uadd)
+
+
+def test_forwarding_no_replacement():
+    db = NameDatabase()
+    record = _register(db, "server")
+    db.deregister(record.uadd)
+    with pytest.raises(NoForwardingAddress):
+        db.lookup_forwarding(record.uadd)
+
+
+def test_forwarding_chain_via_repeated_relocation():
+    db = NameDatabase()
+    first = _register(db, "server")
+    db.deregister(first.uadd)
+    second = _register(db, "server")
+    db.deregister(second.uadd)
+    third = _register(db, "server")
+    # Both stale UAdds forward to the newest.
+    assert db.lookup_forwarding(first.uadd).uadd == third.uadd
+    assert db.lookup_forwarding(second.uadd).uadd == third.uadd
+
+
+def test_list_gateways():
+    db = NameDatabase()
+    gw = db.register("gw.a", {"kind": "gateway"}, [("ether0", "b1")], "Apollo")
+    _register(db, "app")
+    dead_gw = db.register("gw.b", {"kind": "gateway"}, [("ring0", "b2")], "Apollo")
+    db.deregister(dead_gw.uadd)
+    gateways = db.list_gateways()
+    assert [g.uadd for g in gateways] == [gw.uadd]
+
+
+def test_query_attrs_exact_match():
+    db = NameDatabase()
+    a = db.register("a", {"kind": "index", "shard": "1"}, [], "VAX")
+    b = db.register("b", {"kind": "index", "shard": "2"}, [], "VAX")
+    db.register("c", {"kind": "search"}, [], "VAX")
+    assert {r.uadd for r in db.query_attrs({"kind": "index"})} == {a.uadd, b.uadd}
+    assert [r.uadd for r in db.query_attrs({"kind": "index", "shard": "2"})] == [b.uadd]
+    assert db.query_attrs({"kind": "nothing"}) == []
+
+
+def test_len_counts_alive_only():
+    db = NameDatabase()
+    r1 = _register(db, "a")
+    _register(db, "b")
+    db.deregister(r1.uadd)
+    assert len(db) == 1

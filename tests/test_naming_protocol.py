@@ -1,0 +1,119 @@
+"""Unit tests for the naming-service wire encodings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.naming import protocol as p
+from repro.naming.protocol import NameRecord
+from repro.ntcs.address import make_uadd
+
+
+def test_attrs_round_trip():
+    attrs = {"kind": "gateway", "networks": "ether0,ring0", "x": "a=b;c"}
+    assert p.decode_attrs(p.encode_attrs(attrs)) == attrs
+
+
+def test_attrs_empty():
+    assert p.encode_attrs({}) == ""
+    assert p.decode_attrs("") == {}
+
+
+def test_attrs_escaping_of_every_delimiter():
+    attrs = {"k;=%,|": "v\n;=%"}
+    assert p.decode_attrs(p.encode_attrs(attrs)) == attrs
+
+
+def test_attrs_malformed_rejected():
+    with pytest.raises(ProtocolError):
+        p.decode_attrs("novalue")
+
+
+def test_addresses_round_trip():
+    addresses = [("ether0", "tcp:ether0:vax1:5000"),
+                 ("ring0", "mbx:ring0://apollo2/mbx/gw")]
+    assert p.decode_addresses(p.encode_addresses(addresses)) == addresses
+
+
+def test_addresses_empty():
+    assert p.decode_addresses("") == []
+
+
+def test_addresses_malformed_rejected():
+    with pytest.raises(ProtocolError):
+        p.decode_addresses("no-pipe-here")
+
+
+def test_record_round_trip():
+    record = NameRecord(
+        name="index.server",
+        uadd=make_uadd(7),
+        mtype_name="Sun-3",
+        attrs={"kind": "index", "shard": "3"},
+        addresses=[("ether0", "tcp:ether0:sun1:40001")],
+        alive=True,
+        registered_at=12.5,
+    )
+    back = NameRecord.decode(record.encode())
+    assert back == record
+
+
+def test_records_list_round_trip():
+    records = [
+        NameRecord(name=f"m{i}", uadd=make_uadd(i + 1), mtype_name="VAX",
+                   addresses=[("ether0", f"tcp:ether0:vax1:{5000 + i}")])
+        for i in range(4)
+    ]
+    assert p.decode_records(p.encode_records(records)) == records
+    assert p.decode_records(p.encode_records([])) == []
+
+
+def test_record_malformed_rejected():
+    with pytest.raises(ProtocolError):
+        NameRecord.decode("only\ntwo")
+
+
+def test_record_helpers():
+    record = NameRecord(
+        name="gw", uadd=make_uadd(2), mtype_name="Apollo",
+        attrs={"kind": "gateway"},
+        addresses=[("ether0", "blob-a"), ("ring0", "blob-b")],
+    )
+    assert record.networks() == ["ether0", "ring0"]
+    assert record.blob_on("ring0") == "blob-b"
+    assert record.blob_on("nowhere") is None
+    assert record.is_gateway
+
+
+def test_register_payload_round_trip():
+    attrs = {"kind": "search"}
+    addresses = [("ether0", "tcp:ether0:sun1:40002")]
+    payload = p.encode_register_payload(attrs, addresses)
+    assert p.decode_register_payload(payload) == (attrs, addresses)
+    assert p.decode_register_payload(
+        p.encode_register_payload({}, [])) == ({}, [])
+
+
+def test_register_payload_malformed():
+    with pytest.raises(ProtocolError):
+        p.decode_register_payload(b"no separator")
+
+
+_name_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    name=_name_text,
+    uadd=st.integers(1, 2 ** 48),
+    attrs=st.dictionaries(_name_text, _name_text, max_size=5),
+    nets=st.lists(st.tuples(_name_text, _name_text), max_size=4),
+    alive=st.booleans(),
+)
+def test_property_record_round_trip(name, uadd, attrs, nets, alive):
+    record = NameRecord(name=name, uadd=make_uadd(uadd), mtype_name="VAX",
+                        attrs=attrs, addresses=nets, alive=alive)
+    assert NameRecord.decode(record.encode()) == record

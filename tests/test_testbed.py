@@ -1,0 +1,96 @@
+"""Unit tests for the deployment builders (Testbed / RealDeployment)."""
+
+import pytest
+
+from repro import SUN3, Testbed, VAX
+from repro.errors import SimulationError
+from repro.realnet import RealDeployment
+from repro.testbed import make_registry
+
+
+def test_make_registry_has_all_internal_types():
+    registry = make_registry()
+    # Nucleus control types, naming types, DRTS types.
+    for type_id in (1, 2, 3, 10, 12, 14, 40, 41):
+        assert type_id in registry
+    # Application space is free.
+    assert 64 not in registry
+
+
+def test_network_validation():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    with pytest.raises(SimulationError, match="already exists"):
+        bed.network("ether0", protocol="tcp")
+    with pytest.raises(SimulationError, match="unknown IPCS"):
+        bed.network("weird", protocol="carrier-pigeon")
+
+
+def test_machine_validation():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.machine("m1", VAX, networks=["ether0"])
+    with pytest.raises(SimulationError, match="already exists"):
+        bed.machine("m1", VAX, networks=["ether0"])
+
+
+def test_machine_gets_matching_ipcs_per_network():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.network("ring0", protocol="mbx")
+    machine = bed.machine("dual", SUN3, networks=["ether0", "ring0"])
+    assert machine.ipcs_for("ether0", "tcp").protocol == "tcp"
+    assert machine.ipcs_for("ring0", "mbx").protocol == "mbx"
+
+
+def test_single_name_server_enforced():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.machine("m1", VAX, networks=["ether0"])
+    bed.name_server("m1")
+    with pytest.raises(SimulationError, match="already has a Name Server"):
+        bed.name_server("m1")
+
+
+def test_name_server_binding_is_wellknown():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.machine("m1", VAX, networks=["ether0"])
+    server = bed.name_server("m1")
+    assert server.listen_blob == "tcp:ether0:m1:411"
+    assert bed.wellknown.ns_reachable_directly("ether0")
+
+
+def test_module_registry_and_clock_options():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.machine("m1", VAX, networks=["ether0"], clock_offset=2.5,
+                clock_drift=1e-4)
+    bed.name_server("m1")
+    commod = bed.module("worker", "m1")
+    assert bed.modules["worker"] is commod
+    assert bed.machines["m1"].clock.offset == 2.5
+
+
+def test_settle_and_run_for():
+    bed = Testbed()
+    bed.network("ether0", protocol="tcp")
+    bed.machine("m1", VAX, networks=["ether0"])
+    bed.name_server("m1")
+    assert bed.now >= 0.0
+    before = bed.now
+    bed.run_for(1.0)
+    assert bed.now == pytest.approx(before + 1.0)
+    bed.settle()
+
+
+def test_real_deployment_validation():
+    deployment = RealDeployment()
+    from repro.machine import VAX as vax
+    deployment.machine("m1", vax)
+    with pytest.raises(SimulationError):
+        deployment.machine("m1", vax)
+    deployment.name_server("m1")
+    with pytest.raises(SimulationError):
+        deployment.name_server("m1")
+    deployment.shutdown()

@@ -1,0 +1,58 @@
+"""Tests for the standard topology builders."""
+
+import pytest
+
+from deployments import echo_server, register_app_types
+from repro import Testbed
+from repro.netsim.topology import build_chain, build_clique, build_star
+
+
+def test_build_chain_connects_ends():
+    bed = Testbed()
+    build_chain(bed, hops=2)
+    register_app_types(bed)
+    echo_server(bed, "far", "mEnd")
+    client = bed.module("client", "m0")
+    uadd = client.ali.locate("far")
+    assert client.ali.call(uadd, "echo",
+                           {"n": 1, "text": "x"}).values["text"] == "X"
+    assert len(bed.gateways) == 2
+
+
+def test_build_star_spoke_to_spoke():
+    bed = Testbed()
+    build_star(bed, spokes=3)
+    register_app_types(bed)
+    echo_server(bed, "svc", "leaf1")
+    client = bed.module("client", "leaf2")
+    uadd = client.ali.locate("svc")
+    assert client.ali.call(uadd, "echo",
+                           {"n": 1, "text": "s"}).values["text"] == "S"
+
+
+def test_build_clique_has_direct_routes():
+    bed = Testbed()
+    build_clique(bed, size=3)
+    register_app_types(bed)
+    echo_server(bed, "svc", "host2")
+    client = bed.module("client", "host1")
+    uadd = client.ali.locate("svc")
+    assert client.ali.call(uadd, "echo",
+                           {"n": 1, "text": "c"}).values["text"] == "C"
+    # The direct net1-net2 gateway carried it (one splice), not a
+    # two-hop detour via net0.
+    assert bed.gateways["gw1_2"].circuits_established >= 1
+
+
+def test_clique_survives_any_single_gateway_loss():
+    bed = Testbed()
+    build_clique(bed, size=3)
+    register_app_types(bed)
+    echo_server(bed, "svc", "host2")
+    client = bed.module("client", "host1")
+    uadd = client.ali.locate("svc")
+    client.ali.call(uadd, "echo", {"n": 1, "text": "warm"})
+    bed.gateways["gw1_2"].process.kill()  # the direct route dies
+    bed.settle()
+    reply = client.ali.call(uadd, "echo", {"n": 2, "text": "detour"})
+    assert reply.values["text"] == "DETOUR"

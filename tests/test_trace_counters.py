@@ -1,0 +1,111 @@
+"""Unit tests for the debugging utilities: LayerTracer (Sec. 6.2) and
+CounterSet."""
+
+from repro.util import CounterSet, LayerTracer, NullTracer
+from repro.util.idgen import SequenceGenerator
+
+
+# -- SequenceGenerator --------------------------------------------------------
+
+def test_sequence_generator():
+    gen = SequenceGenerator()
+    assert gen.last == 0
+    assert [gen.next() for _ in range(3)] == [1, 2, 3]
+    assert gen.last == 3
+    gen10 = SequenceGenerator(10)
+    assert gen10.next() == 10
+
+
+# -- CounterSet ------------------------------------------------------------
+
+def test_counterset_basics():
+    counters = CounterSet()
+    assert counters["missing"] == 0
+    counters.incr("a")
+    counters.incr("a", 4)
+    counters.incr("b")
+    assert counters["a"] == 5
+    assert "a" in counters and "missing" not in counters
+    assert dict(counters) == {"a": 5, "b": 1}
+    assert counters.snapshot() == {"a": 5, "b": 1}
+
+
+def test_counterset_reset():
+    counters = CounterSet()
+    counters.incr("a")
+    counters.incr("b")
+    counters.reset("a")
+    assert counters["a"] == 0 and counters["b"] == 1
+    counters.reset()
+    assert counters.snapshot() == {}
+
+
+def test_counterset_repr_is_sorted():
+    counters = CounterSet()
+    counters.incr("zeta")
+    counters.incr("alpha")
+    assert repr(counters) == "CounterSet(alpha=1, zeta=1)"
+
+
+# -- LayerTracer ------------------------------------------------------------
+
+def _record_some(tracer):
+    tracer.record("mod", "ALI", "send", "enter", caller="application",
+                  reason="echo", depth=1)
+    tracer.record("mod", "LCM", "send", "enter", caller="ALI",
+                  reason="echo", depth=2)
+    tracer.record("mod", "LCM", "send", "exit", caller="ALI",
+                  reason="echo", depth=2)
+    tracer.record("mod", "ALI", "send", "exit", caller="application",
+                  reason="echo", depth=1)
+
+
+def test_tracer_records_and_sequences():
+    clock_value = [0.5]
+    tracer = LayerTracer(clock=lambda: clock_value[0])
+    _record_some(tracer)
+    assert tracer.layer_sequence() == ["ALI", "LCM"]
+    assert tracer.layer_sequence("exit") == ["LCM", "ALI"]
+    assert tracer.max_depth() == 2
+    assert all(r.time == 0.5 for r in tracer.records)
+    tracer.clear()
+    assert tracer.records == []
+    assert tracer.max_depth() == 0
+
+
+def test_tracer_layer_filter():
+    tracer = LayerTracer(layers={"LCM"})
+    _record_some(tracer)
+    assert {r.layer for r in tracer.records} == {"LCM"}
+
+
+def test_tracer_operation_filter():
+    tracer = LayerTracer(operations={"open"})
+    _record_some(tracer)
+    assert tracer.records == []
+    tracer.record("mod", "ND", "open", "enter")
+    assert len(tracer.records) == 1
+
+
+def test_tracer_format_is_indented_and_readable():
+    tracer = LayerTracer()
+    _record_some(tracer)
+    text = tracer.format()
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "-> mod:ALI.send" in lines[0]
+    assert "caller=application" in lines[0]
+    assert "<- mod:LCM.send" in lines[2]
+    # Depth-2 lines are indented deeper than depth-1 lines.
+    assert lines[1].index("->") > lines[0].index("->")
+
+
+def test_null_tracer_is_inert():
+    tracer = NullTracer()
+    tracer.record("mod", "ALI", "send", "enter")
+    assert tracer.records == []
+    assert tracer.layer_sequence() == []
+    assert tracer.max_depth() == 0
+    assert tracer.format() == ""
+    assert not tracer.enabled
+    tracer.clear()

@@ -1,0 +1,88 @@
+"""Tests for the URSA ingest path: documents added at runtime become
+immediately searchable (live index maintenance over the NTCS)."""
+
+import pytest
+
+from deployments import single_net, two_nets
+from repro import SUN3
+from repro.ursa import Corpus, deploy_ursa
+
+
+@pytest.fixture
+def system():
+    bed = single_net()
+    bed.machine("sun2", SUN3, networks=["ether0"])
+    corpus = Corpus(n_docs=30, seed=21)
+    ursa = deploy_ursa(
+        bed, corpus,
+        index_machines=["sun1", "sun2"],
+        search_machine="sun1",
+        docs_machine="sun2",
+        host_machines=["vax1"],
+    )
+    return bed, ursa
+
+
+def test_ingested_document_becomes_searchable(system):
+    bed, ursa = system
+    host = ursa.hosts[0]
+    assert host.search("xylophone") == []
+    new_id = max(ursa.corpus.doc_ids()) + 1
+    assert host.ingest(new_id, "a xylophone concerto for xylophone") is True
+    assert host.search("xylophone") == [new_id]
+    assert host.fetch(new_id) == "a xylophone concerto for xylophone"
+
+
+def test_ingest_routes_to_owning_shard(system):
+    bed, ursa = system
+    host = ursa.hosts[0]
+    base = max(ursa.corpus.doc_ids()) + 1
+    # Two documents landing on the two different shards (ids differ mod 2).
+    host.ingest(base, "shardtesta unique")
+    host.ingest(base + 1, "shardtestb unique")
+    owners = {base % 2: "shardtesta", (base + 1) % 2: "shardtestb"}
+    for server in ursa.index_servers:
+        expected_term = owners[server.shard]
+        assert expected_term in server.index
+        other_term = owners[1 - server.shard]
+        assert other_term not in server.index
+
+
+def test_duplicate_ingest_refused(system):
+    bed, ursa = system
+    host = ursa.hosts[0]
+    existing = ursa.corpus.doc_ids()[0]
+    assert host.ingest(existing, "whatever") is False
+
+
+def test_ingest_combines_with_existing_terms(system):
+    bed, ursa = system
+    host = ursa.hosts[0]
+    corpus = ursa.corpus
+    term = corpus.common_terms(1)[0]
+    before = host.search(term)
+    new_id = max(corpus.doc_ids()) + 1
+    host.ingest(new_id, f"{term} appears here too")
+    after = host.search(term)
+    assert after == sorted(before + [new_id])
+    # Boolean combination across old and new documents.
+    assert host.search(f"{term} AND appears") == [new_id]
+
+
+def test_ingest_across_networks():
+    """Ingest where the document server and index shards sit on the
+    Apollo ring: store + index update both cross the gateway."""
+    bed = two_nets()
+    corpus = Corpus(n_docs=20, seed=3)
+    ursa = deploy_ursa(
+        bed, corpus,
+        index_machines=["apollo1", "apollo2"],
+        search_machine="sun1",
+        docs_machine="apollo1",
+        host_machines=["vax1"],
+    )
+    host = ursa.hosts[0]
+    new_id = max(corpus.doc_ids()) + 1
+    assert host.ingest(new_id, "ringdoc crossing gateways") is True
+    assert host.search("ringdoc") == [new_id]
+    assert ursa.document_server.ingests == 1

@@ -1,0 +1,113 @@
+"""Tests for URSA ranked retrieval (TF-IDF over sharded indexes)."""
+
+import math
+
+import pytest
+
+from deployments import single_net
+from repro import SUN3
+from repro.ursa import Corpus, deploy_ursa
+from repro.ursa.protocol import decode_scored, encode_scored
+
+
+@pytest.fixture
+def system():
+    bed = single_net()
+    bed.machine("sun2", SUN3, networks=["ether0"])
+    corpus = Corpus(n_docs=50, seed=31)
+    ursa = deploy_ursa(
+        bed, corpus,
+        index_machines=["sun1", "sun2"],
+        search_machine="sun1",
+        docs_machine="sun2",
+        host_machines=["vax1"],
+    )
+    return bed, ursa
+
+
+def _local_tfidf(corpus, terms, limit):
+    tf_index = corpus.build_tf_index(corpus.doc_ids())
+    n_docs = len(corpus)
+    scores = {}
+    for term in terms:
+        tf_map = tf_index.get(term, {})
+        if not tf_map:
+            continue
+        idf = math.log(n_docs / len(tf_map))
+        for doc, tf in tf_map.items():
+            scores[doc] = scores.get(doc, 0.0) + tf * idf
+    ordered = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ordered[:limit]
+
+
+def test_scored_codec_round_trip():
+    pairs = [(3, 1.5), (9, 0.125), (1, 7.0)]
+    assert decode_scored(encode_scored(pairs)) == pairs
+    assert decode_scored(encode_scored([])) == []
+
+
+def test_ranked_matches_local_tfidf(system):
+    bed, ursa = system
+    corpus = ursa.corpus
+    host = ursa.hosts[0]
+    terms = corpus.common_terms(3)
+    expected = _local_tfidf(corpus, terms, 10)
+    got = host.search_ranked(" ".join(terms), limit=10)
+    assert [doc for doc, _ in got] == [doc for doc, _ in expected]
+    for (_, s_got), (_, s_exp) in zip(got, expected):
+        assert s_got == pytest.approx(s_exp)
+
+
+def test_ranked_scores_descend(system):
+    bed, ursa = system
+    host = ursa.hosts[0]
+    terms = " ".join(ursa.corpus.common_terms(2))
+    scored = host.search_ranked(terms, limit=20)
+    assert scored
+    values = [score for _, score in scored]
+    assert values == sorted(values, reverse=True)
+
+
+def test_ranked_limit_respected(system):
+    bed, ursa = system
+    host = ursa.hosts[0]
+    term = ursa.corpus.common_terms(1)[0]
+    assert len(host.search_ranked(term, limit=3)) <= 3
+
+
+def test_rare_terms_outscore_common_per_occurrence(system):
+    """IDF at work: a document matching a rare query term ranks above
+    one matching only a very common term (with equal tf)."""
+    bed, ursa = system
+    corpus = ursa.corpus
+    tf_index = corpus.build_tf_index(corpus.doc_ids())
+    # Find a rare and a common term.
+    by_df = sorted(tf_index.items(), key=lambda kv: len(kv[1]))
+    rare_term = by_df[0][0]
+    common_term = corpus.common_terms(1)[0]
+    host = ursa.hosts[0]
+    scored = dict(host.search_ranked(f"{rare_term} {common_term}", limit=50))
+    rare_docs = set(tf_index[rare_term])
+    common_only = set(tf_index[common_term]) - rare_docs
+    if rare_docs and common_only:
+        best_rare = max(scored.get(d, 0.0) for d in rare_docs)
+        # Any rare-matching doc outranks the median common-only doc.
+        common_scores = sorted(scored.get(d, 0.0) for d in common_only)
+        assert best_rare > common_scores[len(common_scores) // 2]
+
+
+def test_unknown_terms_rank_empty(system):
+    bed, ursa = system
+    assert ursa.hosts[0].search_ranked("zzznothing", limit=5) == []
+
+
+def test_ingested_document_is_ranked(system):
+    bed, ursa = system
+    host = ursa.hosts[0]
+    new_id = max(ursa.corpus.doc_ids()) + 1
+    host.ingest(new_id, "quokka quokka quokka sighting")
+    scored = host.search_ranked("quokka", limit=5)
+    assert scored and scored[0][0] == new_id
+    # tf carried through the ingest path: tf=3 for 'quokka'.
+    n_docs = ursa.search_server.universe_size
+    assert scored[0][1] == pytest.approx(3 * math.log(n_docs / 1))

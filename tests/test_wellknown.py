@@ -1,0 +1,48 @@
+"""Unit tests for the well-known address table (Sec. 3.4)."""
+
+from repro.ntcs.address import Address, NAME_SERVER_UADD, make_uadd
+from repro.ntcs.wellknown import WellKnownTable
+
+
+def test_default_ns_uadd_is_the_convention():
+    table = WellKnownTable()
+    assert table.ns_uadd == NAME_SERVER_UADD
+
+
+def test_ns_blob_per_network():
+    table = WellKnownTable()
+    table.add_name_server_blob("tcp:ether0:vax1:411")
+    table.add_name_server_blob("mbx:ring0://vax1/mbx/ns")
+    assert table.blob_for(table.ns_uadd, "ether0") == "tcp:ether0:vax1:411"
+    assert table.blob_for(table.ns_uadd, "ring0") == "mbx:ring0://vax1/mbx/ns"
+    assert table.blob_for(table.ns_uadd, "elsewhere") is None
+    assert table.ns_networks() == ["ether0", "ring0"]
+    assert table.ns_reachable_directly("ether0")
+    assert not table.ns_reachable_directly("ring9")
+
+
+def test_only_the_name_server_is_well_known():
+    table = WellKnownTable()
+    table.add_name_server_blob("tcp:ether0:vax1:411")
+    assert table.blob_for(make_uadd(99), "ether0") is None
+
+
+def test_prime_gateways_are_plural_and_rotate():
+    table = WellKnownTable()
+    assert table.prime_gateway_blob("ring0") is None
+    assert table.prime_gateway_count("ring0") == 0
+    table.add_prime_gateway("ring0", "mbx:ring0://gwa/mbx/gw")
+    table.add_prime_gateway("ring0", "mbx:ring0://gwb/mbx/gw")
+    assert table.prime_gateway_count("ring0") == 2
+    assert table.prime_gateway_blob("ring0", 0).endswith("gwa/mbx/gw")
+    assert table.prime_gateway_blob("ring0", 1).endswith("gwb/mbx/gw")
+    # Index wraps: failure rotation can increment forever.
+    assert table.prime_gateway_blob("ring0", 2).endswith("gwa/mbx/gw")
+
+
+def test_custom_ns_uadd():
+    custom = Address(value=77)
+    table = WellKnownTable(ns_uadd=custom)
+    table.add_name_server_blob("tcp:ether0:host:411")
+    assert table.blob_for(custom, "ether0") is not None
+    assert table.blob_for(NAME_SERVER_UADD, "ether0") is None
