@@ -1,0 +1,23 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree sources on PYTHONPATH — no install step required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint test bench all
+
+all: lint test
+
+# Architecture gate: layering (Fig. 2-1), type-id reservations
+# (Sec. 5.2), determinism, and exception hygiene over src/repro.
+lint:
+	$(PYTHON) -m repro.analysis src/repro
+
+# Tier-1 suite (includes tests/test_static_analysis.py, which re-runs
+# the lint gate and the seeded-violation fixtures).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Experiment benches; tables land in benchmarks/results/.
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,105 @@
+"""ntcslint command line: ``python -m repro.analysis`` / ``ntcslint``.
+
+Usage::
+
+    ntcslint [PATH ...] [--format text|json] [--rule TOKEN ...]
+             [--list-rules]
+
+With no paths, the installed ``repro`` package tree is scanned.  Exit
+status is 0 when no findings survive (waivers applied), 1 when any do,
+2 on usage errors — so the command drops straight into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import Finding, all_rules, analyze
+
+
+def _default_target() -> Path:
+    # The repro package directory itself (…/src/repro).
+    return Path(__file__).resolve().parents[1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ntcslint argument parser (shared by tests and the CLI)."""
+    parser = argparse.ArgumentParser(
+        prog="ntcslint",
+        description="Static architecture checks for the NTCS reproduction: "
+                    "layering (Fig. 2-1), protocol type-id reservations "
+                    "(Sec. 5.2), determinism, and exception hygiene.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="TOKEN",
+        help="only run/report rules matching TOKEN — a family name "
+             "(layering, protocol, determinism, hygiene) or a rule-id "
+             "prefix (LAY, DET002, ...); repeatable",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule families and ids, then exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule_obj in all_rules():
+        print(f"{rule_obj.name}: {', '.join(rule_obj.ids)}")
+        print(f"    {rule_obj.description}")
+
+
+def _emit(findings: List[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+        return
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = len(findings) - errors
+        print(f"ntcslint: {errors} error(s), {warnings} warning(s)")
+    else:
+        print("ntcslint: clean")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status (0 clean,
+    1 findings, 2 usage error)."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    for token in args.rule or ():
+        # A typo'd token would match nothing and report "clean", which
+        # in CI silently disables the gate — reject it loudly instead.
+        if not any(token == rule_obj.name
+                   or any(rid.startswith(token) for rid in rule_obj.ids)
+                   for rule_obj in all_rules()):
+            print(f"ntcslint: unknown rule token: {token} (see --list-rules)",
+                  file=sys.stderr)
+            return 2
+    paths = args.paths or [_default_target()]
+    for path in paths:
+        if not path.exists():
+            print(f"ntcslint: no such path: {path}", file=sys.stderr)
+            return 2
+    findings = analyze(paths, rule_filter=args.rule)
+    _emit(findings, args.format)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

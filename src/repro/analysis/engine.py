@@ -1,0 +1,250 @@
+"""The ntcslint rule engine.
+
+A :class:`Project` is a parsed snapshot of a set of Python files —
+every module's AST plus its dotted name, resolved from its path (the
+last ``repro`` directory component anchors the package root, so both
+``src/repro/...`` and fixture trees like ``tests/fixtures/.../repro/...``
+resolve to ``repro.*`` names without being imported).
+
+Rules are small objects registered with :func:`rule`; each inspects the
+whole project and yields :class:`Finding` records (file, line, rule id,
+severity, message).  The engine applies inline waivers afterwards: a
+finding is suppressed when the source line it points at carries a
+``# ntcslint: allow=RULE_ID`` (or ``allow=all``) pragma, so intentional
+exceptions stay visible — and justified — in the code itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_PRAGMA_RE = re.compile(r"#\s*ntcslint:\s*allow=([A-Za-z0-9_,\s]+|all)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str          # e.g. "LAY001"
+    severity: str      # SEVERITY_ERROR or SEVERITY_WARNING
+    path: str          # file the finding is in
+    line: int          # 1-based line number
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready dict form (the --format json record)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form: path:line: RULE [sev] message."""
+        return f"{self.path}:{self.line}: {self.rule} [{self.severity}] {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module."""
+
+    name: str                  # dotted name, e.g. "repro.ntcs.lcm"
+    path: Path
+    tree: ast.Module
+    source_lines: List[str]
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line, or '' when out of range."""
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved to a dotted module name."""
+
+    target: str        # dotted module imported ("repro.ntcs.lcm", "time", ...)
+    line: int
+    symbol: Optional[str] = None   # for `from X import y`: the name y
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file, anchored at its last ``repro``
+    path component; stand-alone files fall back to their stem."""
+    parts = list(path.parts)
+    stem_parts = parts[:-1] + [path.stem]
+    if path.name == "__init__.py":
+        stem_parts = parts[:-1]
+    if "repro" in stem_parts:
+        anchor = len(stem_parts) - 1 - stem_parts[::-1].index("repro")
+        return ".".join(stem_parts[anchor:])
+    return path.stem
+
+
+class Project:
+    """A parsed set of modules plus import-resolution helpers."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules: List[ModuleInfo] = sorted(modules, key=lambda m: str(m.path))
+        self.by_name: Dict[str, ModuleInfo] = {m.name: m for m in self.modules}
+
+    @classmethod
+    def load(cls, paths: Iterable[Path]) -> "Project":
+        """Parse every ``.py`` file in the given files/directories."""
+        files: List[Path] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        modules = []
+        for fpath in files:
+            source = fpath.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(fpath))
+            except SyntaxError as exc:
+                raise ValueError(f"{fpath}: cannot parse: {exc}") from exc
+            modules.append(ModuleInfo(
+                name=module_name_for(fpath),
+                path=fpath,
+                tree=tree,
+                source_lines=source.splitlines(),
+            ))
+        return cls(modules)
+
+    # -- import extraction --------------------------------------------------
+
+    def imports_of(self, module: ModuleInfo) -> Iterator[ImportEdge]:
+        """Every import in the module, module- and function-scope alike,
+        resolved against the project's module set: ``from pkg import sub``
+        resolves to ``pkg.sub`` when that is a known module (it is a
+        submodule import, not a symbol import)."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield ImportEdge(target=alias.name, line=node.lineno)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    candidate = f"{base}.{alias.name}"
+                    if candidate in self.by_name:
+                        yield ImportEdge(target=candidate, line=node.lineno)
+                    else:
+                        yield ImportEdge(target=base, line=node.lineno,
+                                         symbol=alias.name)
+
+    def _resolve_from(self, module: ModuleInfo,
+                      node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        # Relative import: start at the module's package, climb one
+        # package per level beyond the first.
+        parts = module.name.split(".")
+        if module.path.name != "__init__.py":
+            parts = parts[:-1]
+        parts = parts[:len(parts) - (node.level - 1)] if node.level > 1 else parts
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts) if parts else None
+
+    # -- waivers -------------------------------------------------------------
+
+    def is_waived(self, finding: Finding) -> bool:
+        """True when the finding's source line carries a matching
+        ``# ntcslint: allow=RULE_ID`` (or ``allow=all``) pragma."""
+        module = next((m for m in self.modules if str(m.path) == finding.path), None)
+        if module is None:
+            return False
+        match = _PRAGMA_RE.search(module.line(finding.line))
+        if not match:
+            return False
+        allowed = {tok.strip() for tok in match.group(1).split(",")}
+        return "all" in allowed or finding.rule in allowed
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Rule:
+    """One registered rule family."""
+
+    name: str                       # e.g. "layering"
+    ids: Sequence[str]              # rule ids it can emit
+    description: str
+    check: Callable[[Project], Iterable[Finding]] = field(repr=False, default=None)
+
+
+_RULES: List[Rule] = []
+
+
+def rule(name: str, ids: Sequence[str], description: str):
+    """Decorator registering a ``check(project) -> Iterable[Finding]``."""
+    def wrap(fn: Callable[[Project], Iterable[Finding]]):
+        _RULES.append(Rule(name=name, ids=tuple(ids),
+                           description=description, check=fn))
+        return fn
+    return wrap
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule family (importing the rules package
+    registers the built-ins)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+    return list(_RULES)
+
+
+def run_rules(project: Project,
+              rule_filter: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run (a filtered subset of) the rule set; returns surviving
+    findings sorted by location.  ``rule_filter`` entries match rule ids
+    by prefix ("LAY" selects LAY001, LAY002, ...) or family name."""
+    findings: List[Finding] = []
+    for rule_obj in all_rules():
+        if rule_filter and not _selected(rule_obj, rule_filter):
+            continue
+        findings.extend(rule_obj.check(project))
+    if rule_filter:
+        findings = [f for f in findings
+                    if any(f.rule.startswith(tok.upper()) for tok in rule_filter)
+                    or _family_selected(f, rule_filter)]
+    findings = [f for f in findings if not project.is_waived(f)]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _selected(rule_obj: Rule, tokens: Sequence[str]) -> bool:
+    for tok in tokens:
+        if rule_obj.name == tok.lower():
+            return True
+        if any(rid.startswith(tok.upper()) for rid in rule_obj.ids):
+            return True
+    return False
+
+
+def _family_selected(finding: Finding, tokens: Sequence[str]) -> bool:
+    for tok in tokens:
+        for rule_obj in _RULES:
+            if rule_obj.name == tok.lower() and finding.rule in rule_obj.ids:
+                return True
+    return False
+
+
+def analyze(paths: Iterable[Path],
+            rule_filter: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Parse the given paths and run the rule set over them."""
+    return run_rules(Project.load(paths), rule_filter=rule_filter)

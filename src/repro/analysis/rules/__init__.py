@@ -1,0 +1,6 @@
+"""Built-in ntcslint rule families.  Importing this package registers
+them with the engine's rule registry."""
+
+from repro.analysis.rules import determinism, hygiene, layering, protocol
+
+__all__ = ["layering", "protocol", "determinism", "hygiene"]

@@ -3,9 +3,16 @@
 "Each application process must bind with a passive communication module
 (ComMod), which is the only aspect of the NTCS visible to the
 application.  To the application, the ComMod is the NTCS."
+
+Accordingly this package re-exports the two NTCS types applications
+handle directly — :class:`Address` (the opaque UAdd) and
+:class:`IncomingMessage` (what :meth:`AliLayer.receive` yields) — so
+application code imports nothing below the ALI veneer.
 """
 
 from repro.commod.commod import ComMod
 from repro.commod.ali import AliLayer
+from repro.ntcs.address import Address
+from repro.ntcs.lcm import IncomingMessage
 
-__all__ = ["ComMod", "AliLayer"]
+__all__ = ["ComMod", "AliLayer", "Address", "IncomingMessage"]

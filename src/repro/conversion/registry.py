@@ -20,7 +20,7 @@ from typing import Callable, Dict, Iterable, Optional
 
 from repro.conversion.codegen import build_codecs
 from repro.conversion.structdef import StructDef
-from repro.errors import ConversionError, UnknownMessageType
+from repro.errors import ConversionError, DuplicateTypeId, UnknownMessageType
 from repro.util.counters import CounterSet
 
 
@@ -52,9 +52,16 @@ class ConversionRegistry:
         """Register a structure.  Without explicit codecs, pack/unpack
         are generated from the definition (the [22] code generator)."""
         if sdef.type_id in self._by_id:
-            raise ConversionError(f"type id {sdef.type_id} already registered")
+            raise DuplicateTypeId(
+                f"type id {sdef.type_id} already registered "
+                f"(as {self._by_id[sdef.type_id].sdef.name!r})",
+                type_id=sdef.type_id, name=sdef.name,
+            )
         if sdef.name in self._by_name:
-            raise ConversionError(f"type name {sdef.name!r} already registered")
+            raise DuplicateTypeId(
+                f"type name {sdef.name!r} already registered",
+                type_id=sdef.type_id, name=sdef.name,
+            )
         if (pack is None) != (unpack is None):
             raise ConversionError("pack and unpack must be supplied together")
         if pack is None:

@@ -13,10 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.commod import ComMod
+from repro.commod import Address, ComMod, IncomingMessage
 from repro.errors import NtcsError
-from repro.ntcs.address import Address
-from repro.ntcs.lcm import IncomingMessage
 
 MONITOR_NAME = "drts.monitor"
 

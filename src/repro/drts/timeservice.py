@@ -20,10 +20,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.commod import ComMod
+from repro.commod import Address, ComMod, IncomingMessage
 from repro.errors import NtcsError
-from repro.ntcs.address import Address
-from repro.ntcs.lcm import IncomingMessage
 
 TIME_SERVER_NAME = "drts.time"
 

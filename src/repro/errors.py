@@ -125,6 +125,17 @@ class UnknownMessageType(ConversionError):
     """A message arrived whose type id is not in the local registry."""
 
 
+class DuplicateTypeId(ConversionError):
+    """A structure was registered under a type id or type name that the
+    registry already holds.  Reserved-range discipline (Sec. 5.2) is
+    also enforced at rest by ``ntcslint``'s protocol rules."""
+
+    def __init__(self, message: str, type_id=None, name=None):
+        super().__init__(message)
+        self.type_id = type_id
+        self.name = name
+
+
 # ---------------------------------------------------------------------------
 # Application-facing (ALI-Layer) errors
 # ---------------------------------------------------------------------------

@@ -60,6 +60,7 @@ class SimMbxIpcs(Ipcs):
         )
         self.ack_timeout = network.latency * 6 + 0.01 + serialization_headroom
         self.records_sent = 0
+        self.close_notify_failures = 0
 
     # -- addressing ---------------------------------------------------------
 
@@ -168,7 +169,8 @@ class SimMbxIpcs(Ipcs):
             try:
                 self._transmit(conn.remote_host, (_CLOSE, conn.remote_id))
             except NetworkUnreachable:
-                pass
+                # Peer unreachable: it will time the connection out.
+                self.close_notify_failures += 1
         self._conns.pop(conn.local_id, None)
         conn.channel._mark_closed(reason)
 

@@ -79,6 +79,7 @@ class SimTcpIpcs(Ipcs):
         self.rto = network.latency * 4 + 0.005 + serialization_headroom
         self.segments_sent = 0
         self.segments_retransmitted = 0
+        self.close_notify_failures = 0
 
     # -- addressing -----------------------------------------------------------
 
@@ -214,7 +215,8 @@ class SimTcpIpcs(Ipcs):
             try:
                 self._transmit(conn.remote_host, (_CLOSE, conn.remote_id))
             except NetworkUnreachable:
-                pass
+                # Peer unreachable: it will time the connection out.
+                self.close_notify_failures += 1
         self._drop_conn(conn)
         conn.channel._mark_closed(reason)
 

@@ -137,7 +137,7 @@ class AttributeNameDatabase(NameDatabase):
             raise ModuleStillAlive(f"{old_uadd} ({record.name!r}) is still active")
         try:
             return super().lookup_forwarding(old_uadd)
-        except NoForwardingAddress:
+        except NoForwardingAddress:  # ntcslint: allow=EXC002 — fallthrough to attribute-similarity fallback below
             pass
         best: Optional[NameRecord] = None
         best_score = self.SIMILARITY_THRESHOLD

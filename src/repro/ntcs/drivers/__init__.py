@@ -5,23 +5,39 @@ providing a uniform virtual circuit interface (STD-IF) for the
 remainder of the NTCS" (Sec. 2.2).  Everything above these drivers is
 portable across IPCSs — demonstrated by experiment E10, which runs the
 identical upper layers over all drivers, including real OS sockets.
+
+Out-of-tree substrates plug in through :func:`register_driver` rather
+than being imported from here: the ND-Layer sits below them, so the
+dependency must point upward from the substrate into this registry
+(``repro.realnet`` registers its ``rtcp`` driver on import; an ``rtcp``
+IPCS can only exist once that module is loaded).
 """
+
+from typing import Callable, Dict
 
 from repro.ntcs.drivers.sim_tcp import SimTcpDriver
 from repro.ntcs.drivers.sim_mbx import SimMbxDriver
 
+_DRIVER_FACTORIES: Dict[str, Callable] = {
+    "tcp": SimTcpDriver,
+    "mbx": SimMbxDriver,
+}
+
+
+def register_driver(protocol: str, factory: Callable) -> None:
+    """Register a STD-IF driver factory for a native IPCS protocol."""
+    _DRIVER_FACTORIES[protocol] = factory
+
 
 def make_driver(ipcs):
     """Build the matching STD-IF driver for a native IPCS instance."""
-    if ipcs.protocol == "tcp":
-        return SimTcpDriver(ipcs)
-    if ipcs.protocol == "mbx":
-        return SimMbxDriver(ipcs)
-    if ipcs.protocol == "rtcp":
-        # Imported lazily: the real-socket substrate is optional.
-        from repro.realnet.driver import LoopbackTcpDriver
-        return LoopbackTcpDriver(ipcs)
-    raise ValueError(f"no ND-Layer driver for IPCS protocol {ipcs.protocol!r}")
+    try:
+        factory = _DRIVER_FACTORIES[ipcs.protocol]
+    except KeyError:
+        raise ValueError(
+            f"no ND-Layer driver for IPCS protocol {ipcs.protocol!r}"
+        ) from None
+    return factory(ipcs)
 
 
-__all__ = ["SimTcpDriver", "SimMbxDriver", "make_driver"]
+__all__ = ["SimTcpDriver", "SimMbxDriver", "make_driver", "register_driver"]

@@ -154,7 +154,8 @@ class Gateway:
         try:
             other_nucleus.nd.send(other_lvc, close_msg)
         except NtcsError:
-            pass
+            # Best-effort: the surviving leg may already be down too.
+            other_nucleus.counters.incr("gateway_close_notify_lost")
         other_nucleus.nd.close(other_lvc, "splice peer failed")
         return True
 
@@ -254,7 +255,8 @@ class Gateway:
         try:
             nucleus.nd.send(lvc, nak)
         except NtcsError:
-            pass
+            # Best-effort refusal: the opener may already be gone.
+            nucleus.counters.incr("gateway_nak_lost")
 
     # -- pass-through forwarding -----------------------------------------------
 
@@ -268,7 +270,9 @@ class Gateway:
             try:
                 out_nucleus.nd.send(out_lvc, msg)
             except NtcsError:
-                pass
+                # The other leg is failing with the circuit; the close
+                # below dismantles it regardless.
+                out_nucleus.counters.incr("gateway_close_notify_lost")
             out_nucleus.nd.close(out_lvc, "ivc closed")
             return
         self.messages_forwarded += 1

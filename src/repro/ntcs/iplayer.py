@@ -304,7 +304,8 @@ class IpLayer:
             try:
                 self.nd.send(ivc.lvc, close_msg)
             except ChannelClosed:
-                pass
+                # The channel died before the courtesy close got out.
+                self.nucleus.counters.incr("ip_close_notify_lost")
         ivc.state = "CLOSED"
         self._by_lvc.pop(ivc.lvc, None)
         self.nd.close(ivc.lvc, reason)

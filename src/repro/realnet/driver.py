@@ -15,6 +15,7 @@ from typing import Callable, Optional
 from repro.errors import ChannelClosed, ConnectionRefused, NetworkUnreachable
 from repro.machine.machine import Machine
 from repro.machine.process import SimProcess
+from repro.ntcs.drivers import register_driver
 from repro.ntcs.drivers.sim_tcp import FramedChannel
 from repro.ntcs.stdif import MessageChannel, StdIfDriver
 from repro.realnet.kernel import RealtimeKernel
@@ -215,3 +216,10 @@ class LoopbackTcpDriver(StdIfDriver):
         channel = RealSocketChannel(self.kernel, sock)
         process.at_kill(channel.close)
         return FramedChannel(channel)
+
+
+# The ND-Layer discovers this substrate through the driver registry: an
+# "rtcp" IPCS (LoopbackRealIpcs) can only be built by importing this
+# module, so the factory is guaranteed registered before any Nucleus
+# asks for it.
+register_driver("rtcp", LoopbackTcpDriver)

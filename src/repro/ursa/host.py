@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.commod import ComMod
-from repro.ntcs.address import Address
+from repro.commod import Address, ComMod
 from repro.ursa.protocol import decode_ids, decode_scored
 
 

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.commod import ComMod
-from repro.ntcs.lcm import IncomingMessage
+from repro.commod import ComMod, IncomingMessage
 from repro.ursa.corpus import Corpus
 from repro.ursa.protocol import encode_ids
 

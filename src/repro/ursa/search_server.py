@@ -18,10 +18,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.commod import ComMod
+from repro.commod import Address, ComMod, IncomingMessage
 from repro.errors import NtcsError
-from repro.ntcs.address import Address
-from repro.ntcs.lcm import IncomingMessage
 from repro.ursa.protocol import decode_ids, encode_ids, encode_scored
 
 

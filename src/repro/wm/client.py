@@ -5,10 +5,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.commod import ComMod
+from repro.commod import Address, ComMod, IncomingMessage
 from repro.errors import NtcsError
-from repro.ntcs.address import Address
-from repro.ntcs.lcm import IncomingMessage
 from repro.wm.server import WM_NAME
 
 

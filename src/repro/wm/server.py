@@ -12,9 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.commod import ComMod
-from repro.ntcs.address import Address
-from repro.ntcs.lcm import IncomingMessage
+from repro.commod import Address, ComMod, IncomingMessage
 from repro.util.idgen import SequenceGenerator
 
 WM_NAME = "drts.windows"

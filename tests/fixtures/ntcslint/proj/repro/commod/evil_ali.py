@@ -1,0 +1,9 @@
+"""Seeded violation: the ALI veneer reaching down into the ND-Layer.
+
+"ALI never imports ndlayer/drivers" — the veneer sees only the Nucleus
+surface and the NSP."""
+
+from repro.ntcs.ndlayer import Lvc                # line 6: LAY001
+from repro.ntcs.drivers import make_driver        # line 7: LAY001
+
+__all__ = ["Lvc", "make_driver"]

@@ -1,0 +1,20 @@
+"""Seeded determinism violations: sim code touching real time/RNGs."""
+
+import random
+import time
+from datetime import datetime
+
+
+def naughty_tick():
+    """Every statement below must fire a DET rule."""
+    t0 = time.time()                               # line 10: DET001
+    time.sleep(0.1)                                # line 11: DET002
+    jitter = random.random()                       # line 12: DET003
+    rng = random.Random()                          # line 13: DET003 (unseeded)
+    stamp = datetime.now()                         # line 14: DET004
+    return t0, jitter, rng, stamp
+
+
+def sanctioned(seed):
+    """Seeded generators are the approved idiom — no finding."""
+    return random.Random(seed).random()

@@ -1,0 +1,3 @@
+"""Seeded violation: a repro module absent from the layer map (LAY002)."""
+
+VALUE = 1

@@ -1,0 +1,25 @@
+"""Seeded protocol violations (type-id reservations, Sec. 5.2).
+
+This module sits in ``repro.naming``, whose reserved range is 10-39."""
+
+from repro.conversion import Field, StructDef
+
+T_GOOD = 12
+T_OUT_OF_RANGE = 99
+
+STRUCTS = [
+    StructDef("ok_message", T_GOOD, [
+        Field("who", "char[16]"),
+    ]),
+    StructDef("rogue_id", T_OUT_OF_RANGE, [        # line 14: PRO001
+        Field("what", "char[16]"),
+    ]),
+    StructDef("clashing", 12, [                    # line 17: PRO002 (dup of T_GOOD)
+        Field("why", "u8"),
+    ]),
+    StructDef("bad_fields", 13, [
+        Field("size", "float32"),                  # line 21: PRO003 (unknown type)
+        Field("tail", "bytes"),                    # line 22: PRO003 (bytes not last)
+        Field("size", "u16"),                      # line 23: PRO004 (dup field name)
+    ]),
+]

@@ -1,0 +1,12 @@
+"""Seeded violation: the simulated network imports the NTCS above it.
+
+The netsim layer models the physical network; the NTCS is software
+running *on top of* it.  Both imports below must fire LAY001."""
+
+from repro.ntcs.nucleus import Nucleus            # line 6: LAY001
+
+
+def lazy_leak():
+    """Function-scope imports are layering edges too."""
+    from repro.ntcs.lcm import LcmLayer           # line 11: LAY001
+    return LcmLayer, Nucleus

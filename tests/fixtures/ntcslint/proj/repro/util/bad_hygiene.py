@@ -1,0 +1,33 @@
+"""Seeded exception-hygiene violations."""
+
+from repro.errors import NtcsError
+
+
+def swallow_everything(op):
+    """Bare except — EXC001."""
+    try:
+        return op()
+    except:                                        # line 10: EXC001
+        return None
+
+
+def swallow_ntcs_error(op):
+    """Silently dropped NTCS error — EXC002."""
+    try:
+        return op()
+    except NtcsError:                              # line 18: EXC002
+        pass
+
+
+def sticky_default(item, bucket=[]):               # line 22: EXC003
+    """Mutable default argument."""
+    bucket.append(item)
+    return bucket
+
+
+def waived(op):
+    """The same drop, explicitly waived — no finding."""
+    try:
+        return op()
+    except NtcsError:  # ntcslint: allow=EXC002 — fixture for the waiver path
+        pass

@@ -1,0 +1,8 @@
+"""Seeded violation: an application importing NTCS internals.
+
+Applications see the ComMod and nothing else (Sec. 2.1)."""
+
+from repro.ntcs.lcm import IncomingMessage        # line 5: LAY001
+from repro.netsim.network import Network          # line 6: LAY001
+
+__all__ = ["IncomingMessage", "Network"]

@@ -1,0 +1,262 @@
+"""ntcslint: the architecture stays machine-checked.
+
+Two halves:
+
+* the *gate* — the full rule set runs over ``src/repro`` and must come
+  back empty, so any future PR that violates the paper's layering
+  (Fig. 2-1), type-id reservations (Sec. 5.2), determinism, or
+  exception hygiene fails tier-1;
+* the *demonstration* — fixture trees with deliberately seeded
+  violations assert that each rule family actually fires, with exact
+  rule ids and line numbers, so the gate cannot rot into a no-op.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, Project, analyze, layer_name
+from repro.analysis.cli import main
+from repro.conversion import ConversionRegistry, Field, StructDef
+from repro.errors import ConversionError, DuplicateTypeId
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+FIXTURE_PROJ = REPO_ROOT / "tests" / "fixtures" / "ntcslint" / "proj"
+
+
+def fixture_findings(*relpath_filters):
+    """Findings over the fixture project, optionally narrowed to files
+    whose path contains one of the given substrings."""
+    findings = analyze([FIXTURE_PROJ])
+    if relpath_filters:
+        findings = [f for f in findings
+                    if any(token in f.path for token in relpath_filters)]
+    return findings
+
+
+def rule_lines(findings):
+    """(rule id, line) pairs, order-preserving."""
+    return [(f.rule, f.line) for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# The gate: the real tree is clean
+# ---------------------------------------------------------------------------
+
+def test_src_tree_is_clean():
+    findings = analyze([SRC_TREE])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_exits_zero_on_src_tree(capsys):
+    assert main([str(SRC_TREE)]) == 0
+    assert "ntcslint: clean" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Layering (LAY001/LAY002) — the Fig. 2-1 stack
+# ---------------------------------------------------------------------------
+
+def test_netsim_importing_ntcs_fires_both_scopes():
+    # Module-scope AND function-scope (lazy) imports are both edges.
+    findings = fixture_findings("evil_netsim")
+    assert rule_lines(findings) == [("LAY001", 6), ("LAY001", 11)]
+    assert "repro.ntcs.nucleus" in findings[0].message
+    assert "repro.ntcs.lcm" in findings[1].message
+
+
+def test_ali_importing_ndlayer_and_drivers_fires():
+    findings = fixture_findings("evil_ali")
+    assert rule_lines(findings) == [("LAY001", 6), ("LAY001", 7)]
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_application_importing_internals_fires():
+    findings = fixture_findings("evil_app")
+    assert rule_lines(findings) == [("LAY001", 5), ("LAY001", 6)]
+    assert "layer 'apps'" in findings[0].message
+
+
+def test_unmapped_module_is_reported():
+    findings = fixture_findings("mystery")
+    assert rule_lines(findings) == [("LAY002", 1)]
+    assert findings[0].severity == "warning"
+
+
+def test_layer_map_places_the_paper_stack():
+    assert layer_name("repro.commod.ali") == "ali"
+    assert layer_name("repro.naming.nsp") == "nsp"
+    assert layer_name("repro.ntcs.lcm") == "lcm"
+    assert layer_name("repro.ntcs.iplayer") == "ip"
+    assert layer_name("repro.ntcs.ndlayer") == "nd"
+    assert layer_name("repro.wm.server") == "apps"
+    assert layer_name("repro.netsim.network") == "netsim"
+    assert layer_name("not_repro.thing") is None
+
+
+# ---------------------------------------------------------------------------
+# Protocol (PRO001–PRO004) — Sec. 5.2 type-id reservations
+# ---------------------------------------------------------------------------
+
+def test_protocol_rules_fire_exactly():
+    findings = fixture_findings("bad_protocol")
+    assert rule_lines(findings) == [
+        ("PRO001", 14),   # id 99 outside repro.naming's 10..39
+        ("PRO002", 17),   # id 12 duplicates ok_message
+        ("PRO003", 21),   # unknown field type float32
+        ("PRO003", 22),   # bytes field not in last position
+        ("PRO004", 23),   # duplicate field name
+    ]
+    assert "10..39" in findings[0].message
+    assert "ok_message" in findings[1].message
+
+
+def test_protocol_rule_resolves_constant_ids():
+    # T_OUT_OF_RANGE = 99 is referenced by name, not literal.
+    finding = fixture_findings("bad_protocol")[0]
+    assert "type id 99" in finding.message
+
+
+# ---------------------------------------------------------------------------
+# Determinism (DET001–DET004) — virtual time only
+# ---------------------------------------------------------------------------
+
+def test_determinism_rules_fire_exactly():
+    findings = fixture_findings("bad_clock")
+    assert rule_lines(findings) == [
+        ("DET001", 10),   # time.time()
+        ("DET002", 11),   # time.sleep()
+        ("DET003", 12),   # global random.random()
+        ("DET003", 13),   # unseeded random.Random()
+        ("DET004", 14),   # argless datetime.now()
+    ]
+
+
+def test_seeded_random_is_sanctioned():
+    findings = fixture_findings("bad_clock")
+    # The sanctioned() helper at the bottom of the fixture uses
+    # random.Random(seed) and must produce no finding.
+    assert all(f.line <= 14 for f in findings)
+
+
+def test_realnet_is_exempt_from_determinism():
+    # The real-socket substrate legitimately reads the wall clock.
+    findings = [f for f in analyze([SRC_TREE / "realnet"])
+                if f.rule.startswith("DET")]
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Hygiene (EXC001–EXC003)
+# ---------------------------------------------------------------------------
+
+def test_hygiene_rules_fire_exactly():
+    findings = fixture_findings("bad_hygiene")
+    assert rule_lines(findings) == [
+        ("EXC001", 10),   # bare except:
+        ("EXC002", 18),   # swallowed NtcsError
+        ("EXC003", 22),   # mutable default argument
+    ]
+
+
+def test_pragma_waives_a_finding():
+    # waived() in the fixture swallows NtcsError under an explicit
+    # `# ntcslint: allow=EXC002` pragma: no finding past line 22.
+    findings = fixture_findings("bad_hygiene")
+    assert all(f.line <= 22 for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI: formats, filtering, exit codes
+# ---------------------------------------------------------------------------
+
+def test_cli_json_format_is_machine_readable(capsys):
+    status = main([str(FIXTURE_PROJ), "--format", "json"])
+    assert status == 1
+    records = json.loads(capsys.readouterr().out)
+    assert {r["rule"] for r in records} >= {
+        "LAY001", "LAY002", "PRO001", "PRO002", "PRO003", "PRO004",
+        "DET001", "DET002", "DET003", "DET004",
+        "EXC001", "EXC002", "EXC003",
+    }
+    sample = records[0]
+    assert set(sample) == {"rule", "severity", "path", "line", "message"}
+
+
+def test_cli_rule_filtering(capsys):
+    status = main([str(FIXTURE_PROJ), "--rule", "DET", "--format", "json"])
+    assert status == 1
+    records = json.loads(capsys.readouterr().out)
+    assert records and all(r["rule"].startswith("DET") for r in records)
+
+    status = main([str(FIXTURE_PROJ), "--rule", "hygiene", "--format", "json"])
+    assert status == 1
+    records = json.loads(capsys.readouterr().out)
+    assert records and all(r["rule"].startswith("EXC") for r in records)
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for family in ("layering", "protocol", "determinism", "hygiene"):
+        assert family in out
+
+
+def test_cli_missing_path_is_usage_error(capsys):
+    assert main([str(FIXTURE_PROJ / "does-not-exist")]) == 2
+
+
+def test_cli_unknown_rule_token_is_usage_error(capsys):
+    # A typo must not silently report "clean" and disable the gate.
+    assert main([str(FIXTURE_PROJ), "--rule", "BOGUS"]) == 2
+    assert "unknown rule token" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Engine plumbing
+# ---------------------------------------------------------------------------
+
+def test_module_names_resolve_from_fixture_tree():
+    project = Project.load([FIXTURE_PROJ])
+    assert "repro.netsim.evil_netsim" in project.by_name
+    assert "repro.naming.bad_protocol" in project.by_name
+
+
+def test_findings_are_sorted_and_stable():
+    first = fixture_findings()
+    second = fixture_findings()
+    assert first == second
+    assert first == sorted(first, key=lambda f: (f.path, f.line, f.rule))
+
+
+def test_finding_render_shape():
+    finding = Finding(rule="LAY001", severity="error",
+                      path="x.py", line=3, message="boom")
+    assert finding.render() == "x.py:3: LAY001 [error] boom"
+
+
+# ---------------------------------------------------------------------------
+# The runtime counterpart: ConversionRegistry duplicate registration
+# ---------------------------------------------------------------------------
+
+def test_registry_raises_typed_error_on_duplicate_type_id():
+    registry = ConversionRegistry()
+    registry.register(StructDef("first", 100, [Field("a", "u8")]))
+    with pytest.raises(DuplicateTypeId) as exc_info:
+        registry.register(StructDef("second", 100, [Field("b", "u8")]))
+    assert exc_info.value.type_id == 100
+    assert "first" in str(exc_info.value)
+    # Still a ConversionError for callers catching the family.
+    assert isinstance(exc_info.value, ConversionError)
+
+
+def test_registry_raises_typed_error_on_duplicate_name():
+    registry = ConversionRegistry()
+    registry.register(StructDef("same_name", 100, [Field("a", "u8")]))
+    with pytest.raises(DuplicateTypeId):
+        registry.register(StructDef("same_name", 101, [Field("a", "u8")]))
+    # No silent overwrite happened.
+    assert registry.get(100).sdef.name == "same_name"
+    assert 101 not in registry
