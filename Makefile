@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench all
+.PHONY: lint test bench bench-smoke all
 
 all: lint test
 
@@ -21,3 +21,10 @@ test:
 # Experiment benches; tables land in benchmarks/results/.
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Fast-path microbench subset (<60 s): regenerates BENCH_pipeline.json
+# at the repo root, enforces the speedup floors, then re-validates the
+# row schema.  CI runs this as the bench-smoke job.
+bench-smoke:
+	$(PYTHON) benchmarks/microbench.py
+	$(PYTHON) benchmarks/microbench.py --check

@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Fast-path microbenchmarks: the machine-readable bench trajectory.
+
+Measures the PR's fast-path claims against embedded copies of the
+*pre-change* implementation (the per-byte shift loops and the
+decode/re-encode-per-hop forwarding discipline) and writes the results
+to ``BENCH_pipeline.json`` at the repo root.
+
+Row schema (one JSON object per measurement)::
+
+    {"bench": str, "metric": str, "value": number, "unit": str,
+     "virtual_ms": number | null, "wall_ms": number | null}
+
+``virtual_ms`` is simulation time (only the end-to-end chain bench has
+it); ``wall_ms`` is the wall-clock cost of taking the measurement.
+
+Usage::
+
+    python benchmarks/microbench.py            # run + write + enforce
+    python benchmarks/microbench.py --check    # validate the JSON only
+
+The run fails (exit 1) when the measured speedups fall below the
+acceptance floors: >= 3x on header encode+decode, >= 2x on the
+3-gateway forwarding loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, os.path.join(REPO, "tests"))
+
+OUT_PATH = os.path.join(REPO, "BENCH_pipeline.json")
+SCHEMA_KEYS = ("bench", "metric", "value", "unit", "virtual_ms", "wall_ms")
+
+HEADER_ENCODE_FLOOR = 3.0   # x, header encode+decode vs per-byte loops
+FORWARDING_FLOOR = 2.0      # x, 3-gateway forwarding loop vs legacy
+
+
+# ---------------------------------------------------------------------------
+# The pre-change implementation, embedded verbatim as the baseline.
+# These are the per-byte shift loops src/repro/conversion/shiftmode.py
+# shipped before this PR, and the decode + full-re-encode per hop the
+# gateway performed before the zero-copy splice.  They double as a
+# living reference for the wire contract: the golden-fixture tests
+# assert the live codecs still agree with them byte for byte.
+# ---------------------------------------------------------------------------
+
+def legacy_shift_encode_u32s(values):
+    out = bytearray()
+    for value in values:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"shift mode value {value} out of u32 range")
+        out.append((value >> 24) & 0xFF)
+        out.append((value >> 16) & 0xFF)
+        out.append((value >> 8) & 0xFF)
+        out.append(value & 0xFF)
+    return bytes(out)
+
+
+def legacy_shift_decode_u32s(data, count, offset=0):
+    values = []
+    pos = offset
+    for _ in range(count):
+        value = (
+            (data[pos] << 24)
+            | (data[pos + 1] << 16)
+            | (data[pos + 2] << 8)
+            | data[pos + 3]
+        )
+        values.append(value)
+        pos += 4
+    return values
+
+
+def legacy_msg_decode(frame, m, Address):
+    """Pre-change ``Msg.decode``: per-byte word decode, checksum
+    verified on every hop, full Msg/Address construction."""
+    words = legacy_shift_decode_u32s(frame, 12)
+    if words[0] != m.MAGIC:
+        raise ValueError("bad magic")
+    if words[11] != sum(words[:11]) & 0xFFFFFFFF:
+        raise ValueError("header checksum mismatch")
+    return m.Msg(
+        kind=words[1], flags=words[2],
+        src=Address.from_u32_pair(words[3], words[4]),
+        dst=Address.from_u32_pair(words[5], words[6]),
+        type_id=words[7], corr_id=words[8], aux=words[10],
+        body=frame[48:],
+    )
+
+
+def legacy_msg_encode(msg, m):
+    """Pre-change ``Msg.encode``: full per-byte header re-serialization
+    on every send — no frame cache."""
+    src_hi, src_lo = msg.src.to_u32_pair()
+    dst_hi, dst_lo = msg.dst.to_u32_pair()
+    words = [
+        m.MAGIC, msg.kind, msg.flags,
+        src_hi, src_lo, dst_hi, dst_lo,
+        msg.type_id, msg.corr_id, len(msg.body), msg.aux,
+    ]
+    words.append(sum(words) & 0xFFFFFFFF)
+    return legacy_shift_encode_u32s(words) + msg.body
+
+
+# ---------------------------------------------------------------------------
+# Measurement helpers
+# ---------------------------------------------------------------------------
+
+def best_of(fn, repeats=5):
+    """Minimum wall-clock seconds over ``repeats`` runs of ``fn``."""
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def row(bench: str, metric: str, value: float, unit: str,
+        virtual_ms: Optional[float] = None,
+        wall_ms: Optional[float] = None) -> dict:
+    return {"bench": bench, "metric": metric,
+            "value": round(float(value), 4), "unit": unit,
+            "virtual_ms": (None if virtual_ms is None
+                           else round(float(virtual_ms), 4)),
+            "wall_ms": (None if wall_ms is None
+                        else round(float(wall_ms), 4))}
+
+
+# ---------------------------------------------------------------------------
+# Benches
+# ---------------------------------------------------------------------------
+
+def bench_header_codec(rows: List[dict]) -> float:
+    """Header encode+decode: per-byte shift loops vs batched struct."""
+    from repro.conversion.shiftmode import (
+        shift_decode_u32s, shift_encode_u32s,
+    )
+
+    words = [0x4E544353, 1, 0x03, 0, 3, 0, 9, 100, 7, 64, 2]
+    words.append(sum(words) & 0xFFFFFFFF)
+    n = 20000
+
+    def legacy():
+        for _ in range(n):
+            legacy_shift_decode_u32s(legacy_shift_encode_u32s(words), 12)
+
+    def batched():
+        for _ in range(n):
+            shift_decode_u32s(shift_encode_u32s(words), 12)
+
+    assert shift_encode_u32s(words) == legacy_shift_encode_u32s(words)
+    legacy_s = best_of(legacy)
+    batched_s = best_of(batched)
+    speedup = legacy_s / batched_s
+    rows.append(row("header_codec", "legacy_encode_decode",
+                    legacy_s / n * 1e6, "us/header",
+                    wall_ms=legacy_s * 1000))
+    rows.append(row("header_codec", "batched_encode_decode",
+                    batched_s / n * 1e6, "us/header",
+                    wall_ms=batched_s * 1000))
+    rows.append(row("header_codec", "speedup", speedup, "x"))
+    return speedup
+
+
+def bench_forwarding(rows: List[dict]) -> float:
+    """Synthetic 3-gateway forwarding loop: decode + re-encode + verify
+    per hop (legacy) vs the zero-copy splice (decode once deferred,
+    forward the cached frame, verify once at the endpoint)."""
+    from repro.ntcs import message as m
+    from repro.ntcs.address import Address
+
+    msg = m.Msg(kind=m.DATA, src=Address(3), dst=Address(9),
+                flags=m.FLAG_PACKED, type_id=100, corr_id=7,
+                body=b"x" * 64)
+    frame = msg.encode()
+    hops = 3
+    n = 5000
+
+    def legacy():
+        for _ in range(n):
+            f = frame
+            for _hop in range(hops):
+                hop_msg = legacy_msg_decode(f, m, Address)
+                f = legacy_msg_encode(hop_msg, m)
+            legacy_msg_decode(f, m, Address)
+
+    def fastpath():
+        for _ in range(n):
+            f = frame
+            for _hop in range(hops):
+                # The splice tap: route on the header view alone, no
+                # Msg materialized, frame forwarded verbatim.
+                header = m.HeaderView(f)
+                if header.kind == m.IVC_CLOSE:
+                    raise AssertionError("unexpected close")
+            end_msg = m.Msg.decode(f, verify=False)
+            if not end_msg.checksum_ok():
+                raise ValueError("header checksum mismatch")
+
+    legacy_s = best_of(legacy)
+    fast_s = best_of(fastpath)
+    speedup = legacy_s / fast_s
+    rows.append(row("forwarding_3gw", "legacy_per_message",
+                    legacy_s / n * 1e6, "us/message",
+                    wall_ms=legacy_s * 1000))
+    rows.append(row("forwarding_3gw", "fastpath_per_message",
+                    fast_s / n * 1e6, "us/message",
+                    wall_ms=fast_s * 1000))
+    rows.append(row("forwarding_3gw", "speedup", speedup, "x"))
+    return speedup
+
+
+def bench_pack_unpack(rows: List[dict]) -> None:
+    """Generated codec throughput (the packed-mode body path)."""
+    from repro.conversion.registry import ConversionRegistry
+    from repro.conversion.structdef import Field, StructDef
+
+    registry = ConversionRegistry()
+    entry = registry.register(StructDef("bench_msg", 100, [
+        Field("n", "i32"), Field("ratio", "f64"),
+        Field("tag", "char[12]"), Field("tail", "bytes"),
+    ]))
+    values = {"n": -1234, "ratio": 2.5, "tag": "bench", "tail": b"\x00\x01"}
+    n = 10000
+
+    def run():
+        for _ in range(n):
+            entry.unpack(entry.pack(values))
+
+    elapsed = best_of(run)
+    rows.append(row("pack_unpack", "round_trips",
+                    n / elapsed, "msgs/s", wall_ms=elapsed * 1000))
+
+
+def bench_e2e_chain(rows: List[dict]) -> None:
+    """End-to-end sanity on the simulated 3-gateway chain: steady-state
+    call latency in virtual time plus the wall cost of the whole run."""
+    from deployments import chain_nets, echo_server
+
+    t0 = time.perf_counter()
+    bed = chain_nets(3)
+    echo_server(bed, "far.echo", "mEnd")
+    client = bed.module("client", "m0")
+    uadd = client.ali.locate("far.echo")
+    client.ali.call(uadd, "echo", {"n": 0, "text": "warm"})
+    calls = 10
+    v0 = bed.now
+    for i in range(calls):
+        client.ali.call(uadd, "echo", {"n": i, "text": "steady"})
+    virtual_ms = (bed.now - v0) * 1000 / calls
+    wall_ms = (time.perf_counter() - t0) * 1000
+    zero_copy = sum(gw.frames_forwarded_zero_copy
+                    for gw in bed.gateways.values())
+    deferred = sum(gw.checksum_verifies_deferred
+                   for gw in bed.gateways.values())
+    rows.append(row("e2e_chain3", "steady_call", virtual_ms,
+                    "virtual_ms/call", virtual_ms=virtual_ms,
+                    wall_ms=wall_ms))
+    rows.append(row("e2e_chain3", "frames_forwarded_zero_copy",
+                    zero_copy, "frames", wall_ms=wall_ms))
+    rows.append(row("e2e_chain3", "checksum_verifies_deferred",
+                    deferred, "verifies", wall_ms=wall_ms))
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (--check)
+# ---------------------------------------------------------------------------
+
+def validate(path: str) -> List[str]:
+    """Schema violations in ``path`` (empty list == valid)."""
+    problems = []
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except ValueError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+    if not isinstance(rows, list) or not rows:
+        return [f"{path}: expected a non-empty JSON array of rows"]
+    for i, entry in enumerate(rows):
+        where = f"row {i}"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if tuple(sorted(entry)) != tuple(sorted(SCHEMA_KEYS)):
+            problems.append(
+                f"{where}: keys {sorted(entry)} != {sorted(SCHEMA_KEYS)}"
+            )
+            continue
+        for key in ("bench", "metric", "unit"):
+            if not isinstance(entry[key], str) or not entry[key]:
+                problems.append(f"{where}: {key!r} must be a non-empty string")
+        if not isinstance(entry["value"], (int, float)) \
+                or isinstance(entry["value"], bool):
+            problems.append(f"{where}: 'value' must be a number")
+        for key in ("virtual_ms", "wall_ms"):
+            if entry[key] is not None and (
+                    not isinstance(entry[key], (int, float))
+                    or isinstance(entry[key], bool)):
+                problems.append(f"{where}: {key!r} must be a number or null")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="validate BENCH_pipeline.json and exit")
+    parser.add_argument("--out", default=OUT_PATH,
+                        help="output path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        problems = validate(args.out)
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        print(f"{args.out}: " + ("INVALID" if problems else "ok"))
+        return 1 if problems else 0
+
+    rows: List[dict] = []
+    header_speedup = bench_header_codec(rows)
+    forwarding_speedup = bench_forwarding(rows)
+    bench_pack_unpack(rows)
+    bench_e2e_chain(rows)
+
+    with open(args.out, "w") as f:
+        json.dump(rows, f, indent=2)
+        f.write("\n")
+
+    for entry in rows:
+        print("{bench:>14}  {metric:<28} {value:>12} {unit}".format(**entry))
+    print(f"wrote {args.out} ({len(rows)} rows)")
+
+    failures = []
+    if header_speedup < HEADER_ENCODE_FLOOR:
+        failures.append(
+            f"header encode+decode speedup {header_speedup:.2f}x "
+            f"< {HEADER_ENCODE_FLOOR}x floor"
+        )
+    if forwarding_speedup < FORWARDING_FLOOR:
+        failures.append(
+            f"3-gateway forwarding speedup {forwarding_speedup:.2f}x "
+            f"< {FORWARDING_FLOOR}x floor"
+        )
+    problems = validate(args.out)
+    failures.extend(f"schema violation: {p}" for p in problems)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

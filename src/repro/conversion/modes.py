@@ -16,9 +16,9 @@ format, and the destination's unpack routine rebuilds a native image.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-from repro.conversion.registry import ConversionRegistry
+from repro.conversion.registry import ConversionRegistry, RegistryEntry
 from repro.errors import ConversionError
 from repro.machine.arch import MachineType
 
@@ -55,12 +55,12 @@ def encode_body(
     Returns:
         (mode, wire_bytes).
     """
+    entry, compatible = registry.lookup_route(type_id, src, dst)
     if mode is None:
-        mode = choose_mode(src, dst)
+        mode = IMAGE if compatible else PACKED
     if mode == IMAGE:
         registry.counters.incr("image_sends")
         return IMAGE, native_image
-    entry = registry.get(type_id)
     values = entry.sdef.image_decode(native_image, src.struct_prefix)
     registry.counters.incr("pack_calls")
     return PACKED, entry.pack(values)
@@ -75,16 +75,15 @@ def encode_values(
     mode: int = None,
 ) -> Tuple[int, bytes]:
     """Convenience for senders that hold field values rather than a
-    prebuilt image: materialize the source-machine memory image first
-    (that *is* what the application hands the NTCS), then apply the
-    mode rule."""
-    entry = registry.get(type_id)
-    native = entry.sdef.image_encode(values, src.struct_prefix)
+    prebuilt image: apply the (cached) mode rule, then materialize the
+    source-machine memory image only when it actually goes on the wire
+    — the pack routine reads the field values directly."""
+    entry, compatible = registry.lookup_route(type_id, src, dst)
     if mode is None:
-        mode = choose_mode(src, dst)
+        mode = IMAGE if compatible else PACKED
     if mode == IMAGE:
         registry.counters.incr("image_sends")
-        return IMAGE, native
+        return IMAGE, entry.sdef.image_encode(values, src.struct_prefix)
     registry.counters.incr("pack_calls")
     return PACKED, entry.pack(values)
 
@@ -95,14 +94,18 @@ def decode_body(
     mode: int,
     wire: bytes,
     dst: MachineType,
+    entry: Optional[RegistryEntry] = None,
 ) -> Dict[str, Any]:
     """Recover field values from a wire body on the destination.
 
     In image mode the bytes are reinterpreted under the *destination's*
     byte order — which corrupts multi-byte values if the mode decision
-    was wrong, exactly as on the paper's hardware.
+    was wrong, exactly as on the paper's hardware.  A receiver that
+    already resolved the registry entry may pass it to skip the second
+    lookup.
     """
-    entry = registry.get(type_id)
+    if entry is None:
+        entry = registry.get(type_id)
     if mode == IMAGE:
         registry.counters.incr("image_receives")
         return entry.sdef.image_decode(wire, dst.struct_prefix)

@@ -16,11 +16,12 @@ produce/consume bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.conversion.codegen import build_codecs
 from repro.conversion.structdef import StructDef
 from repro.errors import ConversionError, DuplicateTypeId, UnknownMessageType
+from repro.machine.arch import MachineType
 from repro.util.counters import CounterSet
 
 
@@ -41,6 +42,13 @@ class ConversionRegistry:
     def __init__(self):
         self._by_id: Dict[int, RegistryEntry] = {}
         self._by_name: Dict[str, RegistryEntry] = {}
+        # (type id, src data format, dst data format) -> (entry, image
+        # compatible).  Sec. 5's per-destination-machine-type decision,
+        # computed once per peer; safe to cache forever because type ids
+        # are registered exactly once and a MachineType's data format is
+        # immutable.
+        self._route_cache: Dict[Tuple[int, str, str],
+                                Tuple[RegistryEntry, bool]] = {}
         self.counters = CounterSet()
 
     def register(
@@ -79,14 +87,39 @@ class ConversionRegistry:
         try:
             return self._by_id[type_id]
         except KeyError:
-            raise UnknownMessageType(f"no registered message type {type_id}")
+            raise UnknownMessageType(
+                f"no registered message type {type_id}", type_id=type_id
+            )
 
     def get_by_name(self, name: str) -> RegistryEntry:
         """The entry for a type name; raises UnknownMessageType if absent."""
         try:
             return self._by_name[name]
         except KeyError:
-            raise UnknownMessageType(f"no registered message type {name!r}")
+            raise UnknownMessageType(
+                f"no registered message type {name!r}", name=name
+            )
+
+    def lookup_route(self, type_id: int, src: MachineType,
+                     dst: MachineType) -> Tuple[RegistryEntry, bool]:
+        """The cached (codec entry, image-compatible) decision for one
+        (type id, source arch, destination arch) triple.
+
+        The cache is keyed by :attr:`MachineType.data_format`, which
+        fully determines both the mode rule (image between identical
+        layouts, Sec. 5) and the image byte order — so the hot send
+        path costs one dictionary probe per peer after warm-up.
+        Raises UnknownMessageType for an unregistered type id.
+        """
+        key = (type_id, src.data_format, dst.data_format)
+        hit = self._route_cache.get(key)
+        if hit is not None:
+            self.counters.incr("codec_cache_hits")
+            return hit
+        decision = (self.get(type_id), src.image_compatible(dst))
+        self._route_cache[key] = decision
+        self.counters.incr("codec_cache_misses")
+        return decision
 
     def __contains__(self, type_id: int) -> bool:
         return type_id in self._by_id

@@ -6,54 +6,65 @@ shift and mask routines. ... Byte ordering problems are hidden by the
 high level shift/mask routines, and by transmitting the values as a
 byte stream."
 
-These functions intentionally avoid :mod:`struct`: the point of shift
-mode is that explicit shifts and masks define the wire order themselves,
-so the code is identical on every architecture.
+The wire contract is *most-significant byte first, four bytes per
+word*, defined by the shift/mask arithmetic itself and therefore
+identical on every architecture.  The original implementation here ran
+the shifts one byte at a time in Python; that loop dominated the
+header hot path, so the codecs now batch all words through
+:mod:`struct` with an explicit big-endian format — ``">NI"`` is the
+same function the shift loop computed, expressed once per header
+instead of once per byte.  The contract is unchanged and locked by the
+golden fixtures in ``tests/fixtures/wire/`` (frames captured from the
+per-byte implementation) plus the reference shift loop in
+``benchmarks/microbench.py``.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import struct
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.errors import ConversionError
 
 U32_BYTES = 4
 
+# Compiled big-endian formats, one per word count.  Headers are twelve
+# words, addresses two: the cache stays tiny and saves the per-call
+# format parse.
+_CODECS: Dict[int, struct.Struct] = {}
+
+
+def _codec(count: int) -> struct.Struct:
+    codec = _CODECS.get(count)
+    if codec is None:
+        codec = _CODECS[count] = struct.Struct(">%dI" % count)
+    return codec
+
 
 def shift_encode_u32s(values: Sequence[int]) -> bytes:
     """Encode a sequence of 32-bit unsigned integers, four bytes each,
-    most-significant byte first — by shifting, not by struct."""
-    out = bytearray()
-    for value in values:
-        if not 0 <= value <= 0xFFFFFFFF:
-            raise ConversionError(f"shift mode value {value} out of u32 range")
-        out.append((value >> 24) & 0xFF)
-        out.append((value >> 16) & 0xFF)
-        out.append((value >> 8) & 0xFF)
-        out.append(value & 0xFF)
-    return bytes(out)
+    most-significant byte first."""
+    try:
+        return _codec(len(values)).pack(*values)
+    except struct.error:
+        for value in values:
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ConversionError(
+                    f"shift mode value {value} out of u32 range"
+                )
+        raise ConversionError(f"shift mode encode failed for {values!r}")
 
 
-def shift_decode_u32s(data: bytes, count: int, offset: int = 0) -> List[int]:
+def shift_decode_u32s(data: Union[bytes, memoryview], count: int,
+                      offset: int = 0) -> List[int]:
     """Decode ``count`` 32-bit integers from ``data`` starting at
-    ``offset``, by shifting the bytes back together."""
+    ``offset``.  Accepts a memoryview so callers can decode in place."""
     need = offset + count * U32_BYTES
     if len(data) < need:
         raise ConversionError(
             f"shift mode: need {need} bytes, have {len(data)}"
         )
-    values = []
-    pos = offset
-    for _ in range(count):
-        value = (
-            (data[pos] << 24)
-            | (data[pos + 1] << 16)
-            | (data[pos + 2] << 8)
-            | data[pos + 3]
-        )
-        values.append(value)
-        pos += U32_BYTES
-    return values
+    return list(_codec(count).unpack_from(data, offset))
 
 
 def split_u64(value: int) -> Tuple[int, int]:

@@ -122,7 +122,18 @@ class ConversionError(NtcsError):
 
 
 class UnknownMessageType(ConversionError):
-    """A message arrived whose type id is not in the local registry."""
+    """A message arrived whose type id is not in the local registry.
+
+    Every lookup path normalizes to this typed error — a raw
+    ``KeyError`` must never escape the conversion layer — and carries
+    the offending ``type_id`` (or ``name``) so handlers can log or
+    NAK precisely.
+    """
+
+    def __init__(self, message: str, type_id=None, name=None):
+        super().__init__(message)
+        self.type_id = type_id
+        self.name = name
 
 
 class DuplicateTypeId(ConversionError):

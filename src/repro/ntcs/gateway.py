@@ -30,6 +30,7 @@ from repro.errors import (
     NameServerUnreachable,
     NoSuchAddress,
     NtcsError,
+    ProtocolError,
     RouteNotFound,
 )
 from repro.ntcs import message as m
@@ -38,6 +39,7 @@ from repro.ntcs.iplayer import MAX_HOPS
 from repro.ntcs.ndlayer import Lvc
 from repro.ntcs.nucleus import Nucleus, NucleusConfig
 from repro.ntcs.protocol import T_IVC_OPEN
+from repro.util.counters import GATEWAY_CHECKSUM_VERIFIES_DEFERRED
 
 
 class Gateway:
@@ -76,6 +78,11 @@ class Gateway:
         self.circuits_refused = 0
         self.messages_forwarded = 0
         self.teardowns_propagated = 0
+        # Fast-path accounting (PROTOCOL.md, "Fast path and wire
+        # invariance"): frames spliced through without re-serialization,
+        # and header-checksum verifications this hop did *not* perform.
+        self.frames_forwarded_zero_copy = 0
+        self.checksum_verifies_deferred = 0
 
     # -- registration (Sec. 4.1: "their logical name and connected
     # networks are registered with the naming service; the same as any
@@ -130,6 +137,13 @@ class Gateway:
             self._forward(lvc, splice, msg)
             return True
         if msg.kind == m.IVC_OPEN and not self._is_mine(msg.dst):
+            # The gateway terminates the IVC_OPEN at each hop (it
+            # unpacks the body to route), so the deferred header
+            # checksum is settled here before the body is touched.
+            if not msg.checksum_ok():
+                nucleus.counters.incr("nd_malformed_messages")
+                nucleus.nd.close(lvc, "IVC_OPEN header checksum mismatch")
+                return True
             self._establish(nucleus, lvc, msg)
             return True
         return False
@@ -184,13 +198,17 @@ class Gateway:
         # has a path back upstream.
         self._splices[in_lvc] = (out_nucleus, out_lvc)
         self._splices[out_lvc] = (in_nucleus, in_lvc)
+        # Spliced frames bypass decoding entirely: the ND-Layer hands
+        # each raw inbound frame to _fast_forward, which routes on the
+        # header view alone (words 1–6) without materializing a Msg.
+        in_lvc.frame_tap = lambda raw: self._fast_forward(in_lvc, raw)
+        out_lvc.frame_tap = lambda raw: self._fast_forward(out_lvc, raw)
         self.circuits_established += 1
-        forwarded = m.Msg(
-            kind=m.IVC_OPEN, src=msg.src, dst=msg.dst,
-            flags=msg.flags, type_id=msg.type_id,
-            corr_id=msg.corr_id, aux=hops + 1, body=msg.body,
+        # Forward the original frame with only the hop-count (aux) and
+        # checksum words patched in place — no header re-serialization.
+        out_nucleus.nd.send_frame(
+            out_lvc, m.patch_frame_aux(msg.encode(), hops + 1)
         )
-        out_nucleus.nd.send(out_lvc, forwarded)
 
     def _open_next_hop(self, dst: Address, dst_network: str) -> Tuple[Nucleus, Lvc]:
         """Open the next LVC of the chain: to the destination itself
@@ -260,6 +278,37 @@ class Gateway:
 
     # -- pass-through forwarding -----------------------------------------------
 
+    def _fast_forward(self, in_lvc: Lvc, raw: bytes) -> bool:
+        """The zero-copy splice: forward a raw inbound frame from its
+        header view alone.  Returns False (frame not consumed) for
+        anything needing the full path — IVC_CLOSE teardown, malformed
+        frames, or a dismantled splice — which then goes through decode
+        and :meth:`handle` as before."""
+        splice = self._splices.get(in_lvc)
+        if splice is None:
+            return False
+        try:
+            header = m.HeaderView(raw)
+        except ProtocolError:
+            return False  # let the ND-Layer's malformed handling run
+        if header.kind == m.IVC_CLOSE:
+            return False
+        out_nucleus, out_lvc = splice
+        self.messages_forwarded += 1
+        self.frames_forwarded_zero_copy += 1
+        # This hop neither verified the header sum nor re-serialized:
+        # the terminating endpoint settles the checksum once.
+        self.checksum_verifies_deferred += 1
+        out_nucleus.counters.incr(GATEWAY_CHECKSUM_VERIFIES_DEFERRED)
+        try:
+            out_nucleus.nd.send_frame(out_lvc, raw)
+        except NtcsError:
+            # The downstream leg died with traffic in flight: messages
+            # "may get lost in Gateway queues during this
+            # reconfiguration" (Sec. 4.3).
+            out_nucleus.counters.incr("gateway_messages_dropped")
+        return True
+
     def _forward(self, in_lvc: Lvc, splice: Tuple[Nucleus, Lvc], msg: m.Msg) -> None:
         out_nucleus, out_lvc = splice
         if msg.kind == m.IVC_CLOSE:
@@ -276,8 +325,16 @@ class Gateway:
             out_nucleus.nd.close(out_lvc, "ivc closed")
             return
         self.messages_forwarded += 1
+        self.frames_forwarded_zero_copy += 1
+        if msg.checksum_pending:
+            # This hop never verified the header sum — the terminating
+            # endpoint will, once, for the whole chain.
+            self.checksum_verifies_deferred += 1
+            out_nucleus.counters.incr(GATEWAY_CHECKSUM_VERIFIES_DEFERRED)
         try:
-            out_nucleus.nd.send(out_lvc, msg)
+            # The decoded-but-unmutated Msg still holds its original
+            # frame bytes: forward them verbatim.
+            out_nucleus.nd.send_frame(out_lvc, msg.encode())
         except NtcsError:
             # The downstream leg died with traffic in flight: messages
             # "may get lost in Gateway queues during this

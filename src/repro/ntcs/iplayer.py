@@ -326,6 +326,12 @@ class IpLayer:
         ivc = self._by_lvc.get(lvc)
         if ivc is None:
             return
+        # This message terminates here: settle the checksum deferred by
+        # the ND-Layer (once end-to-end, not once per hop).
+        if not msg.checksum_ok():
+            nucleus.counters.incr("nd_malformed_messages")
+            self._teardown(ivc, "header checksum mismatch")
+            return
         if msg.kind == m.IVC_OPEN:
             self._on_ivc_open_as_endpoint(ivc, msg)
         elif msg.kind == m.IVC_OPEN_ACK:

@@ -355,7 +355,8 @@ class LcmLayer:
         try:
             entry = nucleus.registry.get(msg.type_id)
             values = decode_body(
-                nucleus.registry, msg.type_id, msg.mode, msg.body, nucleus.mtype
+                nucleus.registry, msg.type_id, msg.mode, msg.body,
+                nucleus.mtype, entry=entry,
             )
         except Exception as exc:  # malformed bodies must not kill the pump
             nucleus.counters.incr("lcm_undecodable_messages")

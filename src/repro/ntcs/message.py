@@ -22,11 +22,23 @@ word  meaning
 10    aux (hop count for IVC_OPEN; otherwise zero)
 11    checksum: sum of words 0–10 mod 2^32
 ====  ==========================================================
+
+Fast path (PROTOCOL.md, "Fast path and wire invariance"): a decoded
+:class:`Msg` keeps its original frame bytes, and :meth:`Msg.encode`
+returns them verbatim until a wire-visible field is mutated — so a
+gateway that forwards a message untouched never re-serializes it.  The
+header checksum may be verified lazily (``verify=False`` on decode +
+:meth:`Msg.checksum_ok` at the terminating endpoint), and
+:func:`patch_frame_aux` rewrites only the aux and checksum words of a
+frame in place via ``memoryview`` for the per-hop IVC_OPEN hop count.
+:class:`HeaderView` exposes the routing words (1–6) of a raw frame
+without materializing a full message.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
 from repro.conversion.shiftmode import shift_decode_u32s, shift_encode_u32s
 from repro.errors import ProtocolError
@@ -35,6 +47,10 @@ from repro.ntcs.address import Address
 MAGIC = 0x4E544353  # "NTCS"
 HEADER_WORDS = 12
 HEADER_BYTES = HEADER_WORDS * 4
+
+# Byte offsets of the in-place-patchable words (see patch_frame_aux).
+AUX_WORD_OFFSET = 10 * 4
+CHECKSUM_WORD_OFFSET = 11 * 4
 
 # -- kinds ------------------------------------------------------------------
 
@@ -64,6 +80,86 @@ FLAG_IS_REPLY = 0x04
 FLAG_CONNECTIONLESS = 0x08
 FLAG_INTERNAL = 0x10        # NTCS control-plane traffic (NSP, monitor, ...)
 
+# Fields whose mutation invalidates a cached wire frame.
+_WIRE_FIELDS = frozenset(
+    {"kind", "src", "dst", "flags", "type_id", "corr_id", "aux", "body"}
+)
+
+
+class HeaderView:
+    """A zero-copy view of one frame's header words.
+
+    Gateways route on kind/src/dst/aux; this view decodes exactly the
+    twelve header words (no body copy, no Address construction unless
+    asked) so the pass-through plane can decide without building a
+    :class:`Msg`.  Construction validates only length and magic; call
+    :meth:`checksum_ok` to verify the header sum.
+    """
+
+    __slots__ = ("_words",)
+
+    def __init__(self, frame: Union[bytes, bytearray, memoryview]):
+        if len(frame) < HEADER_BYTES:
+            raise ProtocolError(f"short NTCS message: {len(frame)} bytes")
+        self._words = shift_decode_u32s(frame, HEADER_WORDS)
+        if self._words[0] != MAGIC:
+            raise ProtocolError(f"bad magic {self._words[0]:#x}")
+
+    @property
+    def kind(self) -> int:
+        return self._words[1]
+
+    @property
+    def flags(self) -> int:
+        return self._words[2]
+
+    @property
+    def src(self) -> Address:
+        return Address.from_u32_pair(self._words[3], self._words[4])
+
+    @property
+    def dst(self) -> Address:
+        return Address.from_u32_pair(self._words[5], self._words[6])
+
+    @property
+    def type_id(self) -> int:
+        return self._words[7]
+
+    @property
+    def corr_id(self) -> int:
+        return self._words[8]
+
+    @property
+    def body_len(self) -> int:
+        return self._words[9]
+
+    @property
+    def aux(self) -> int:
+        return self._words[10]
+
+    def checksum_ok(self) -> bool:
+        """True when the checksum word matches the header sum."""
+        return self._words[11] == sum(self._words[:11]) & 0xFFFFFFFF
+
+
+def patch_frame_aux(frame: Union[bytes, memoryview], aux: int) -> bytes:
+    """A copy of ``frame`` with only the aux and checksum words
+    rewritten in place — the gateway hop-count splice.
+
+    The checksum is word-sum mod 2^32, so it updates incrementally from
+    the old aux value: no other header word is read, decoded, or
+    re-encoded.  Everything else, body included, is byte-identical.
+    """
+    if len(frame) < HEADER_BYTES:
+        raise ProtocolError(f"short NTCS message: {len(frame)} bytes")
+    patched = bytearray(frame)
+    view = memoryview(patched)
+    old_aux, old_sum = shift_decode_u32s(view, 2, offset=AUX_WORD_OFFSET)
+    new_sum = (old_sum - old_aux + aux) & 0xFFFFFFFF
+    view[AUX_WORD_OFFSET:CHECKSUM_WORD_OFFSET + 4] = \
+        shift_encode_u32s((aux & 0xFFFFFFFF, new_sum))
+    return bytes(patched)
+
 
 @dataclass
 class Msg:
@@ -77,6 +173,18 @@ class Msg:
     corr_id: int = 0
     aux: int = 0
     body: bytes = b""
+    # Cached wire frame: populated by decode()/encode(), dropped on any
+    # wire-field mutation (see __setattr__).  repr=False keeps dumps
+    # readable; compare=False keeps Msg equality semantic, not cached.
+    _frame: Optional[bytes] = field(default=None, repr=False, compare=False)
+    # False until the header checksum has been checked (decode verifies
+    # eagerly unless told to defer; locally built messages are trusted).
+    _checksum_deferred: bool = field(default=False, repr=False, compare=False)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _WIRE_FIELDS and "_frame" in self.__dict__:
+            object.__setattr__(self, "_frame", None)
+        object.__setattr__(self, name, value)
 
     # -- flag helpers ---------------------------------------------------------
 
@@ -115,7 +223,12 @@ class Msg:
     # -- wire form ------------------------------------------------------------
 
     def encode(self) -> bytes:
-        """Shift-mode header followed by the body bytes."""
+        """Shift-mode header followed by the body bytes.  The frame is
+        cached: re-encoding an unmutated message (the gateway forward
+        path) returns the original bytes."""
+        frame = self._frame
+        if frame is not None:
+            return frame
         src_hi, src_lo = self.src.to_u32_pair()
         dst_hi, dst_lo = self.dst.to_u32_pair()
         words = [
@@ -124,29 +237,40 @@ class Msg:
             self.type_id, self.corr_id, len(self.body), self.aux,
         ]
         checksum = sum(words) & 0xFFFFFFFF
-        return shift_encode_u32s(words + [checksum]) + self.body
+        words.append(checksum)
+        frame = shift_encode_u32s(words) + self.body
+        self._frame = frame
+        return frame
 
     @classmethod
-    def decode(cls, data: bytes) -> "Msg":
+    def decode(cls, data: bytes, verify: bool = True) -> "Msg":
         """Parse one complete message.  Raises ProtocolError on any
-        malformation — the sanity net under the recursive layers."""
+        malformation — the sanity net under the recursive layers.
+
+        With ``verify=False`` the (length/magic) structure is still
+        validated but the header-checksum comparison is deferred: the
+        caller promises to run :meth:`checksum_ok` at the terminating
+        endpoint (gateway pass-through hops skip it entirely — the
+        single-verification rule, PROTOCOL.md).
+        """
         if len(data) < HEADER_BYTES:
             raise ProtocolError(f"short NTCS message: {len(data)} bytes")
         words = shift_decode_u32s(data, HEADER_WORDS)
         if words[0] != MAGIC:
             raise ProtocolError(f"bad magic {words[0]:#x}")
-        checksum = sum(words[:11]) & 0xFFFFFFFF
-        if words[11] != checksum:
-            raise ProtocolError(
-                f"header checksum mismatch ({words[11]:#x} != {checksum:#x})"
-            )
+        if verify:
+            checksum = sum(words[:11]) & 0xFFFFFFFF
+            if words[11] != checksum:
+                raise ProtocolError(
+                    f"header checksum mismatch ({words[11]:#x} != {checksum:#x})"
+                )
         body_len = words[9]
         body = data[HEADER_BYTES:]
         if len(body) != body_len:
             raise ProtocolError(
                 f"body length mismatch: header says {body_len}, got {len(body)}"
             )
-        return cls(
+        msg = cls(
             kind=words[1],
             flags=words[2],
             src=Address.from_u32_pair(words[3], words[4]),
@@ -156,6 +280,32 @@ class Msg:
             aux=words[10],
             body=body,
         )
+        msg._frame = bytes(data)
+        msg._checksum_deferred = not verify
+        return msg
+
+    def checksum_ok(self) -> bool:
+        """Verify a deferred header checksum (idempotent; True when the
+        checksum was already verified at decode or the message was built
+        locally)."""
+        if not self._checksum_deferred:
+            return True
+        frame = self._frame
+        if frame is None:
+            # Mutated since decode: the cached frame (and with it the
+            # received checksum word) is gone; nothing left to verify.
+            self._checksum_deferred = False
+            return True
+        words = shift_decode_u32s(frame, HEADER_WORDS)
+        ok = words[11] == sum(words[:11]) & 0xFFFFFFFF
+        if ok:
+            self._checksum_deferred = False
+        return ok
+
+    @property
+    def checksum_pending(self) -> bool:
+        """True while the header checksum has not been verified yet."""
+        return self._checksum_deferred
 
     def __repr__(self) -> str:
         return (

@@ -33,6 +33,7 @@ from repro.ntcs import message as m
 from repro.ntcs.address import Address, blob_network
 from repro.ntcs.protocol import T_LVC_HELLO, T_LVC_HELLO_ACK
 from repro.ntcs.stdif import MessageChannel
+from repro.util.counters import ND_FRAMES_FORWARDED
 
 
 class Lvc:
@@ -52,6 +53,11 @@ class Lvc:
         self.close_reason: Optional[str] = None
         self.messages_sent = 0
         self.messages_received = 0
+        # Optional fast-path hook (installed by the Gateway on spliced
+        # LVCs): called with each raw inbound frame *before* decoding;
+        # returning True means the frame was consumed (forwarded) and
+        # the normal decode/dispatch path is skipped.
+        self.frame_tap: Optional[Callable[[bytes], bool]] = None
 
     @property
     def open(self) -> bool:
@@ -187,10 +193,21 @@ class NdLayer:
 
     def send(self, lvc: Lvc, msg: m.Msg) -> None:
         """Transmit one encoded message over an open LVC."""
+        self._transmit(lvc, msg.encode())
+
+    def send_frame(self, lvc: Lvc, frame: bytes) -> None:
+        """Transmit an already-encoded frame verbatim — the gateway
+        splice path forwards the received bytes without rebuilding a
+        :class:`~repro.ntcs.message.Msg` (PROTOCOL.md, "Fast path and
+        wire invariance")."""
+        self._transmit(lvc, frame)
+        self.nucleus.counters.incr(ND_FRAMES_FORWARDED)
+
+    def _transmit(self, lvc: Lvc, frame: bytes) -> None:
         if not lvc.mchan.open:
             raise ChannelClosed(f"{lvc} is closed ({lvc.close_reason})")
         try:
-            lvc.mchan.send_message(msg.encode())
+            lvc.mchan.send_message(frame)
         except IpcsError as exc:
             raise ChannelClosed(str(exc))
         lvc.messages_sent += 1
@@ -218,24 +235,43 @@ class NdLayer:
         self._install(lvc)
 
     def _on_raw(self, lvc: Lvc, raw: bytes) -> None:
+        # Structure (length/magic/body length) is validated here, but
+        # the header-checksum comparison is deferred to the terminating
+        # endpoint: HELLO traffic terminates in this layer, so it is
+        # verified below; everything else is verified by the IP-Layer
+        # when it dispatches — never on gateway pass-through hops
+        # (PROTOCOL.md, "Fast path and wire invariance").
         nucleus = self.nucleus
+        tap = lvc.frame_tap
+        if tap is not None and tap(raw):
+            # Spliced pass-through: the Gateway forwarded the raw frame
+            # from its header view alone — no Msg was materialized.
+            lvc.messages_received += 1
+            return
         try:
-            msg = m.Msg.decode(raw)
+            msg = m.Msg.decode(raw, verify=False)
         except ProtocolError:
-            nucleus.counters.incr("nd_malformed_messages")
-            self.close(lvc, "malformed message")
-            self._fault_upcall(lvc, "malformed message")
+            self._malformed(lvc)
             return
         lvc.messages_received += 1
         nucleus.trace(self.LAYER, "receive", caller="wire",
                       reason=msg.kind_name)
-        if msg.kind == m.LVC_HELLO:
-            self._on_hello(lvc, msg)
-        elif msg.kind == m.LVC_HELLO_ACK:
-            self._on_hello_ack(lvc, msg)
+        if msg.kind in (m.LVC_HELLO, m.LVC_HELLO_ACK):
+            if not msg.checksum_ok():
+                self._malformed(lvc)
+                return
+            if msg.kind == m.LVC_HELLO:
+                self._on_hello(lvc, msg)
+            else:
+                self._on_hello_ack(lvc, msg)
         else:
             self._maybe_purge_tadd(lvc, msg)
             self._message_upcall(lvc, msg)
+
+    def _malformed(self, lvc: Lvc) -> None:
+        self.nucleus.counters.incr("nd_malformed_messages")
+        self.close(lvc, "malformed message")
+        self._fault_upcall(lvc, "malformed message")
 
     def _on_hello(self, lvc: Lvc, msg: m.Msg) -> None:
         nucleus = self.nucleus

@@ -212,16 +212,25 @@ class Nucleus:
     _UNKNOWN_MTYPE = MachineType(name="unknown", byte_order="big",
                                  charset="unknown")
 
+    # name -> MachineType memo, shared across all nuclei: the directory
+    # of known machine types is a static table, and the send hot path
+    # resolves the peer's name on every message.
+    _MTYPE_CACHE: dict = {}
+
     def mtype_by_name(self, name: str) -> MachineType:
         """Resolve a peer's machine-type name; an unknown or missing
         name yields a type image-compatible with nothing, forcing
         packed mode (the safe default)."""
         if not name:
             return self._UNKNOWN_MTYPE
-        try:
-            return machine_type(name)
-        except KeyError:
-            return self._UNKNOWN_MTYPE
+        mtype = self._MTYPE_CACHE.get(name)
+        if mtype is None:
+            try:
+                mtype = machine_type(name)
+            except KeyError:
+                mtype = self._UNKNOWN_MTYPE
+            self._MTYPE_CACHE[name] = mtype
+        return mtype
 
     # -- DRTS hooks (recursion sources, Sec. 6.1) ----------------------------------
 

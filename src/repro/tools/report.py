@@ -11,6 +11,7 @@ yields an up-to-date ``EXPERIMENTS-RESULTS.md`` next to the results.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from datetime import datetime, timezone
@@ -60,6 +61,47 @@ def collect_tables(results_dir: Optional[str] = None) -> Dict[str, List[str]]:
     return grouped
 
 
+def _pipeline_path(results_dir: Optional[str] = None) -> str:
+    # BENCH_pipeline.json is committed at the repo root (two levels up
+    # from benchmarks/results/), written by benchmarks/microbench.py.
+    directory = _results_dir(results_dir)
+    return os.path.join(os.path.dirname(os.path.dirname(directory)),
+                        "BENCH_pipeline.json")
+
+
+def pipeline_lines(results_dir: Optional[str] = None) -> List[str]:
+    """The fast-path microbench trajectory as markdown lines (empty when
+    BENCH_pipeline.json is absent or unreadable)."""
+    path = _pipeline_path(results_dir)
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(rows, list) or not rows:
+        return []
+    lines = [
+        "## Fast-path pipeline (benchmarks/microbench.py)",
+        "",
+        "From `BENCH_pipeline.json` — regenerate with "
+        "`python benchmarks/microbench.py`.",
+        "",
+        "| bench | metric | value | unit |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        lines.append(
+            "| {bench} | {metric} | {value} | {unit} |".format(
+                bench=row.get("bench", "?"), metric=row.get("metric", "?"),
+                value=row.get("value", "?"), unit=row.get("unit", "?"),
+            )
+        )
+    lines.append("")
+    return lines
+
+
 def compose_report(results_dir: Optional[str] = None,
                    now: Optional[str] = None) -> str:
     """The full markdown report as a string."""
@@ -91,6 +133,7 @@ def compose_report(results_dir: Optional[str] = None,
             lines.append(chunk)
             lines.append("```")
             lines.append("")
+    lines.extend(pipeline_lines(results_dir))
     missing = [exp_id for _, exp_id, _ in _EXPERIMENTS
                if exp_id not in seen]
     if missing:

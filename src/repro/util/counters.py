@@ -12,6 +12,14 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterator, Tuple
 
+# Fast-path event names (PROTOCOL.md, "Fast path and wire invariance").
+# Incremented by the ND-Layer / Gateway so E5-internet can report the
+# per-hop work the splice path saves: frames forwarded verbatim without
+# re-serialization, and header-checksum verifications a pass-through
+# hop skipped (the terminating endpoint verifies once for the chain).
+ND_FRAMES_FORWARDED = "nd_frames_forwarded"
+GATEWAY_CHECKSUM_VERIFIES_DEFERRED = "gateway_checksum_verifies_deferred"
+
 
 class CounterSet:
     """A mutable set of named integer counters.

@@ -1,0 +1,31 @@
+"""A *clean* fixture: the fast-path memoryview splice pattern.
+
+This is the idiom the PR's zero-copy gateway path uses (see
+``repro.ntcs.message.patch_frame_aux``): rewrite two header words of a
+frame in place through a ``memoryview``, updating the word-sum checksum
+incrementally.  The static-analysis gate must accept it without any
+waiver pragma — layering (nucleus-level code importing the conversion
+codecs and typed errors), determinism (no wall clock, no randomness),
+and hygiene (typed raises, no swallowed errors, no mutable defaults)
+are all respected.
+"""
+
+from repro.conversion.shiftmode import shift_decode_u32s, shift_encode_u32s
+from repro.errors import ProtocolError
+
+HEADER_BYTES = 48
+AUX_WORD_OFFSET = 40
+CHECKSUM_WORD_OFFSET = 44
+
+
+def patch_aux_in_place(frame, aux):
+    """Return a copy of ``frame`` with only aux + checksum rewritten."""
+    if len(frame) < HEADER_BYTES:
+        raise ProtocolError("short frame: %d bytes" % len(frame))
+    patched = bytearray(frame)
+    view = memoryview(patched)
+    old_aux, old_sum = shift_decode_u32s(view, 2, offset=AUX_WORD_OFFSET)
+    new_sum = (old_sum - old_aux + aux) & 0xFFFFFFFF
+    view[AUX_WORD_OFFSET:CHECKSUM_WORD_OFFSET + 4] = \
+        shift_encode_u32s((aux & 0xFFFFFFFF, new_sum))
+    return bytes(patched)

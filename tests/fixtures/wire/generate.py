@@ -1,0 +1,116 @@
+"""Golden wire-fixture generator.
+
+Run ONCE against the pre-fast-path codecs (PR 2) to freeze the wire
+format, and never again: the fixtures' whole value is that they were
+produced by the per-byte shift/mask implementation the batch codecs
+replaced.  ``tests/test_wire_golden.py`` replays the manifest against
+the live codecs and fails on any byte-level drift.
+
+    PYTHONPATH=src python tests/fixtures/wire/generate.py
+"""
+
+import json
+import os
+
+from repro.conversion import ConversionRegistry, Field, StructDef
+from repro.ntcs import message as m
+from repro.ntcs.address import Address
+from repro.ntcs.protocol import register_nucleus_types
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+APP_SDEF = StructDef("golden_app", 100, [
+    Field("n", "i32"),
+    Field("ratio", "f64"),
+    Field("tag", "char[12]"),
+    Field("tail", "bytes"),
+])
+
+APP_VALUES = {"n": -1234, "ratio": 2.5, "tag": "golden", "tail": b"\x00\x01\xfe"}
+
+CONTROL_BODIES = {
+    "lvc_hello": {"mtype": "VAX", "listen_blob": "tcp:ether0:vax1:5001",
+                  "network": "ether0"},
+    "lvc_hello_ack": {"mtype": "APOLLO", "listen_blob": "mbx:ring0://a1/mbx/7"},
+    "ivc_open": {"dst_network": "ring0", "src_mtype": "VAX",
+                 "src_listen_blob": "tcp:ether0:vax1:5001"},
+    "ivc_open_ack": {"dst_mtype": "APOLLO"},
+    "ivc_open_nak": {"reason": "hop count exceeded"},
+    "ivc_close": {"reason": "upstream circuit failed: peer died"},
+}
+
+
+def build_registry():
+    registry = ConversionRegistry()
+    register_nucleus_types(registry)
+    registry.register(APP_SDEF)
+    return registry
+
+
+def cases(registry):
+    src = Address(value=3)
+    dst = Address(value=9)
+    tsrc = Address(value=5, temporary=True)
+    app = registry.get_by_name("golden_app")
+    packed_body = app.pack(APP_VALUES)
+    yield ("data_packed", m.Msg(kind=m.DATA, src=src, dst=dst,
+                                flags=m.FLAG_PACKED | m.FLAG_REPLY_EXPECTED,
+                                type_id=100, corr_id=7, body=packed_body))
+    yield ("data_image", m.Msg(kind=m.DATA, src=src, dst=dst, flags=0,
+                               type_id=100, corr_id=8,
+                               body=b"\x01\x02\x03\x04imagebody"))
+    yield ("data_empty_body", m.Msg(kind=m.DATA, src=src, dst=dst,
+                                    flags=m.FLAG_PACKED, type_id=100,
+                                    corr_id=9))
+    yield ("data_tadd_source", m.Msg(kind=m.DATA, src=tsrc, dst=dst,
+                                     flags=m.FLAG_PACKED, type_id=100,
+                                     corr_id=10, body=packed_body))
+    for name, values in sorted(CONTROL_BODIES.items()):
+        entry = registry.get_by_name(name)
+        kind = {
+            "lvc_hello": m.LVC_HELLO, "lvc_hello_ack": m.LVC_HELLO_ACK,
+            "ivc_open": m.IVC_OPEN, "ivc_open_ack": m.IVC_OPEN_ACK,
+            "ivc_open_nak": m.IVC_OPEN_NAK, "ivc_close": m.IVC_CLOSE,
+        }[name]
+        aux = 3 if name == "ivc_open" else 0
+        yield (name, m.Msg(kind=kind, src=src, dst=dst,
+                           flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+                           type_id=entry.sdef.type_id, aux=aux,
+                           body=entry.pack(values)))
+
+
+def main():
+    registry = build_registry()
+    manifest = {"app_struct": {"name": APP_SDEF.name,
+                               "type_id": APP_SDEF.type_id},
+                "app_values_packed_hex": registry.get_by_name(
+                    "golden_app").pack(APP_VALUES).hex(),
+                "control_bodies": CONTROL_BODIES,
+                "frames": []}
+    for name, msg in cases(registry):
+        frame = msg.encode()
+        path = os.path.join(HERE, f"{name}.bin")
+        with open(path, "wb") as f:
+            f.write(frame)
+        manifest["frames"].append({
+            "name": name,
+            "file": f"{name}.bin",
+            "kind": msg.kind,
+            "src_value": msg.src.value,
+            "src_temporary": msg.src.temporary,
+            "dst_value": msg.dst.value,
+            "dst_temporary": msg.dst.temporary,
+            "flags": msg.flags,
+            "type_id": msg.type_id,
+            "corr_id": msg.corr_id,
+            "aux": msg.aux,
+            "body_hex": msg.body.hex(),
+        })
+    with open(os.path.join(HERE, "manifest.json"), "w") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {len(manifest['frames'])} frames to {HERE}")
+
+
+if __name__ == "__main__":
+    main()

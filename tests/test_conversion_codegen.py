@@ -198,3 +198,57 @@ def test_registry_lookup_errors():
     with pytest.raises(UnknownMessageType):
         reg.get_by_name("ghost")
     assert 999 not in reg
+
+def test_registry_errors_carry_type_id_and_name():
+    """Every lookup path normalizes to a typed ConversionError carrying
+    the offending type id (or name) — no raw KeyError escapes."""
+    reg = ConversionRegistry()
+    with pytest.raises(UnknownMessageType) as exc_info:
+        reg.get(999)
+    assert exc_info.value.type_id == 999
+    assert exc_info.value.name is None
+    with pytest.raises(UnknownMessageType) as exc_info:
+        reg.get_by_name("ghost")
+    assert exc_info.value.name == "ghost"
+    assert exc_info.value.type_id is None
+
+
+def test_pack_missing_field_is_conversion_error():
+    """A missing value raises ConversionError naming the field, not a
+    raw KeyError out of the generated codec."""
+    pack, _, _ = build_codecs(_sdef())
+    with pytest.raises(ConversionError, match="sample.count: missing field"):
+        pack({"delta": 0, "ratio": 1.0, "label": "x", "blob": b""})
+    with pytest.raises(ConversionError, match="sample.label: missing field"):
+        pack({"count": 1, "delta": 0, "ratio": 1.0, "blob": b""})
+
+
+def test_route_cache_hits_after_first_lookup():
+    """(type id, src arch, dst arch) -> (codec, mode) is one dict probe
+    per peer after warm-up."""
+    from repro.machine.arch import machine_type
+
+    reg = ConversionRegistry()
+    entry = reg.register(_sdef())
+    vax, sun = machine_type("VAX"), machine_type("Sun-3")
+    first = reg.lookup_route(100, vax, sun)
+    assert first == (entry, vax.image_compatible(sun))
+    assert reg.counters["codec_cache_misses"] == 1
+    for _ in range(5):
+        assert reg.lookup_route(100, vax, sun) is not None
+    assert reg.counters["codec_cache_hits"] == 5
+    assert reg.counters["codec_cache_misses"] == 1
+    # A different destination arch is a different decision.
+    reg.lookup_route(100, vax, vax)
+    assert reg.counters["codec_cache_misses"] == 2
+    assert reg.lookup_route(100, vax, vax)[1] is True
+
+
+def test_route_cache_unknown_type_not_cached():
+    from repro.machine.arch import machine_type
+
+    reg = ConversionRegistry()
+    vax = machine_type("VAX")
+    with pytest.raises(UnknownMessageType) as exc_info:
+        reg.lookup_route(999, vax, vax)
+    assert exc_info.value.type_id == 999

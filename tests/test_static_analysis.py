@@ -169,6 +169,31 @@ def test_pragma_waives_a_finding():
 
 
 # ---------------------------------------------------------------------------
+# The fast-path splice pattern is lint-clean without waivers
+# ---------------------------------------------------------------------------
+
+def test_memoryview_splice_pattern_is_clean():
+    """The zero-copy splice idiom (memoryview patch of the aux and
+    checksum words, as in repro.ntcs.message.patch_frame_aux) passes
+    every rule family with no `ntcslint: allow` pragma."""
+    fixture = FIXTURE_PROJ / "repro" / "ntcs" / "message.py"
+    assert "ntcslint: allow" not in fixture.read_text()
+    assert fixture_findings("ntcs/message") == []
+
+
+def test_live_fastpath_modules_are_clean():
+    """The real fast-path code (message frame cache + splice, batched
+    shift codecs, gateway forwarding) carries no waiver pragmas and
+    yields zero findings on its own."""
+    for rel in ("ntcs/message.py", "conversion/shiftmode.py",
+                "ntcs/gateway.py", "ntcs/ndlayer.py"):
+        path = SRC_TREE / rel
+        assert "ntcslint: allow" not in path.read_text(), rel
+    findings = analyze([SRC_TREE / "ntcs", SRC_TREE / "conversion"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
 # CLI: formats, filtering, exit codes
 # ---------------------------------------------------------------------------
 
