@@ -23,8 +23,10 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # Fast-path microbench subset (<60 s): regenerates BENCH_pipeline.json
-# at the repo root, enforces the speedup floors, then re-validates the
-# row schema.  CI runs this as the bench-smoke job.
+# and BENCH_naming.json at the repo root, enforces the speedup floors
+# (header codec, forwarding, hot resolution, URSA cold start) and the
+# pinned E5-internet invariants, then re-validates the row schemas.
+# CI runs this as the bench-smoke job.
 bench-smoke:
 	$(PYTHON) benchmarks/microbench.py
 	$(PYTHON) benchmarks/microbench.py --check

@@ -4,7 +4,9 @@
 Measures the PR's fast-path claims against embedded copies of the
 *pre-change* implementation (the per-byte shift loops and the
 decode/re-encode-per-hop forwarding discipline) and writes the results
-to ``BENCH_pipeline.json`` at the repo root.
+to ``BENCH_pipeline.json`` at the repo root.  The control-plane benches
+(NSP resolution cache, batched Name-Server operations, the pinned
+E5-internet invariants — PROTOCOL.md §9) write ``BENCH_naming.json``.
 
 Row schema (one JSON object per measurement)::
 
@@ -21,7 +23,9 @@ Usage::
 
 The run fails (exit 1) when the measured speedups fall below the
 acceptance floors: >= 3x on header encode+decode, >= 2x on the
-3-gateway forwarding loop.
+3-gateway forwarding loop, >= 5x on repeated hot resolution (cache on
+vs off), >= 2x fewer Name-Server requests during an URSA cold start —
+or when the pinned E5-internet establishment-frame counts move.
 """
 
 from __future__ import annotations
@@ -39,10 +43,24 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 sys.path.insert(0, os.path.join(REPO, "tests"))
 
 OUT_PATH = os.path.join(REPO, "BENCH_pipeline.json")
+NAMING_OUT_PATH = os.path.join(REPO, "BENCH_naming.json")
 SCHEMA_KEYS = ("bench", "metric", "value", "unit", "virtual_ms", "wall_ms")
 
 HEADER_ENCODE_FLOOR = 3.0   # x, header encode+decode vs per-byte loops
 FORWARDING_FLOOR = 2.0      # x, 3-gateway forwarding loop vs legacy
+HOT_RESOLUTION_FLOOR = 5.0  # x, repeated hot resolution, cache on vs off
+URSA_NS_FLOOR = 2.0         # x, NS requests during URSA cold start
+# E5-internet semantics pinned by the PR that introduced the zero-copy
+# splice: establishment frames per k-gateway chain, and an empty
+# inter-gateway control plane.  The control-plane cache must not move
+# these numbers.
+E5_ESTABLISH_FRAMES = {0: 14, 1: 64, 2: 124, 3: 202, 4: 298}
+
+# The §9 work-saved counters surfaced in the report table.
+CONTROL_PLANE_COUNTERS = (
+    "nsp_cache_hits", "nsp_cache_misses", "nsp_cache_invalidations",
+    "nsp_calls_coalesced", "nsp_batch_resolves",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -275,6 +293,143 @@ def bench_e2e_chain(rows: List[dict]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Control-plane benches (PROTOCOL.md §9) -> BENCH_naming.json
+# ---------------------------------------------------------------------------
+
+def bench_hot_resolution(rows: List[dict]) -> float:
+    """Repeated resolution of an already-known name: full Name-Server
+    round trip every time (cache off) vs the NSP-layer resolution cache
+    (cache on)."""
+    from deployments import echo_server, single_net
+    from repro.ntcs.nucleus import NucleusConfig
+
+    n = 200
+
+    def measure(enabled):
+        bed = single_net(NucleusConfig(nsp_cache_enabled=enabled))
+        echo_server(bed, "dest", "sun1")
+        client = bed.module("client", "vax1")
+        client.ali.locate("dest")   # first resolution always pays
+        ns = bed.name_server_instance
+        ns_before = sum(count for _, count in ns.counters)
+        v0 = bed.now
+
+        def loop():
+            for _ in range(n):
+                client.ali.locate("dest")
+
+        wall = best_of(loop, repeats=3)
+        ns_requests = sum(count for _, count in ns.counters) - ns_before
+        return wall, ns_requests, (bed.now - v0) * 1000
+
+    off_wall, off_ns, off_virtual = measure(False)
+    on_wall, on_ns, on_virtual = measure(True)
+    speedup = off_wall / on_wall
+    rows.append(row("naming_control_plane", "hot_resolution_cache_off",
+                    off_wall / n * 1e6, "us/resolve",
+                    virtual_ms=off_virtual, wall_ms=off_wall * 1000))
+    rows.append(row("naming_control_plane", "hot_resolution_cache_on",
+                    on_wall / n * 1e6, "us/resolve",
+                    virtual_ms=on_virtual, wall_ms=on_wall * 1000))
+    rows.append(row("naming_control_plane", "hot_resolution_speedup",
+                    speedup, "x"))
+    rows.append(row("naming_control_plane", "ns_requests_cache_off",
+                    off_ns, "requests"))
+    rows.append(row("naming_control_plane", "ns_requests_cache_on",
+                    on_ns, "requests"))
+    return speedup
+
+
+def bench_ursa_cold_start(rows: List[dict]) -> float:
+    """Name-Server resolution requests during an URSA cold start
+    (deploy, one search, one fetch per host, three hosts) with batched
+    prefetch + cache vs the one-round-trip-per-resolution control
+    plane.  Registration writes are excluded — they are identical in
+    both modes and no cache can remove them."""
+    from repro import SUN3, Testbed, VAX
+    from repro.ntcs.nucleus import NucleusConfig
+    from repro.ursa import Corpus, deploy_ursa
+
+    corpus = Corpus(n_docs=30, seed=7)
+    term = corpus.common_terms(1)[0]
+
+    def cold_start(enabled):
+        bed = Testbed(NucleusConfig(nsp_cache_enabled=enabled))
+        bed.network("ether0", protocol="tcp")
+        bed.machine("vax1", VAX, networks=["ether0"])
+        bed.machine("sun1", SUN3, networks=["ether0"])
+        bed.machine("sun2", SUN3, networks=["ether0"])
+        bed.name_server("vax1")
+        ns = bed.name_server_instance
+
+        def resolutions():
+            return sum(count for name, count in ns.counters
+                       if name != "ns_register")
+
+        before = resolutions()
+        ursa = deploy_ursa(bed, corpus, index_machines=["sun1", "sun2"],
+                           search_machine="sun1", docs_machine="sun2",
+                           host_machines=["vax1", "sun1", "sun2"])
+        for host in ursa.hosts:
+            host.search_and_fetch(term, limit=2)
+        saved = {name: sum(commod.nucleus.counters[name]
+                           for commod in bed.modules.values())
+                 for name in CONTROL_PLANE_COUNTERS}
+        return resolutions() - before, saved
+
+    off_requests, _ = cold_start(False)
+    on_requests, saved = cold_start(True)
+    reduction = off_requests / max(1, on_requests)
+    rows.append(row("naming_control_plane", "ursa_cold_ns_requests_off",
+                    off_requests, "requests"))
+    rows.append(row("naming_control_plane", "ursa_cold_ns_requests_on",
+                    on_requests, "requests"))
+    rows.append(row("naming_control_plane", "ursa_cold_ns_reduction",
+                    reduction, "x"))
+    # The §9 work-saved counters, summed over every module in the
+    # cache-on cold start — the raw data for the report's
+    # "control-plane work saved" table.
+    for name in CONTROL_PLANE_COUNTERS:
+        rows.append(row("control_plane_saved", name, saved[name], "events"))
+    return reduction
+
+
+def bench_e5_invariants(rows: List[dict]) -> List[str]:
+    """E5-internet invariants with the cache ON: establishment frames
+    per k-gateway chain and the empty inter-gateway control plane must
+    match the numbers pinned before this cache existed."""
+    from deployments import chain_nets, echo_server
+
+    failures = []
+    for hops, expected in sorted(E5_ESTABLISH_FRAMES.items()):
+        bed = chain_nets(hops)
+        echo_server(bed, "far.echo", "mEnd")
+        client = bed.module("client", "m0")
+        uadd = client.ali.locate("far.echo")
+        frames_before = sum(net.frames_sent for net in bed.networks.values())
+        client.ali.call(uadd, "echo", {"n": 0, "text": "establish"})
+        frames = sum(net.frames_sent
+                     for net in bed.networks.values()) - frames_before
+        control = sum(gw.inter_gateway_control_messages
+                      for gw in bed.gateways.values())
+        rows.append(row("e5_invariants", f"establish_frames_{hops}gw",
+                        frames, "frames"))
+        rows.append(row("e5_invariants", f"inter_gw_control_{hops}gw",
+                        control, "messages"))
+        if frames != expected:
+            failures.append(
+                f"E5 establish frames for {hops} gateways: {frames} "
+                f"!= pinned {expected}"
+            )
+        if control != 0:
+            failures.append(
+                f"E5 inter-gateway control messages for {hops} gateways: "
+                f"{control} != 0"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Schema validation (--check)
 # ---------------------------------------------------------------------------
 
@@ -314,19 +469,34 @@ def validate(path: str) -> List[str]:
     return problems
 
 
+def _write_rows(path: str, rows: List[dict]) -> None:
+    with open(path, "w") as f:
+        json.dump(rows, f, indent=2)
+        f.write("\n")
+    for entry in rows:
+        print("{bench:>20}  {metric:<28} {value:>12} {unit}".format(**entry))
+    print(f"wrote {path} ({len(rows)} rows)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
-                        help="validate BENCH_pipeline.json and exit")
+                        help="validate BENCH_pipeline.json and "
+                             "BENCH_naming.json, then exit")
     parser.add_argument("--out", default=OUT_PATH,
-                        help="output path (default: repo root)")
+                        help="pipeline output path (default: repo root)")
+    parser.add_argument("--naming-out", default=NAMING_OUT_PATH,
+                        help="naming output path (default: repo root)")
     args = parser.parse_args(argv)
 
     if args.check:
-        problems = validate(args.out)
-        for problem in problems:
-            print(f"schema violation: {problem}", file=sys.stderr)
-        print(f"{args.out}: " + ("INVALID" if problems else "ok"))
+        problems = []
+        for path in (args.out, args.naming_out):
+            found = validate(path)
+            for problem in found:
+                print(f"schema violation: {problem}", file=sys.stderr)
+            print(f"{path}: " + ("INVALID" if found else "ok"))
+            problems.extend(found)
         return 1 if problems else 0
 
     rows: List[dict] = []
@@ -334,14 +504,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     forwarding_speedup = bench_forwarding(rows)
     bench_pack_unpack(rows)
     bench_e2e_chain(rows)
+    _write_rows(args.out, rows)
 
-    with open(args.out, "w") as f:
-        json.dump(rows, f, indent=2)
-        f.write("\n")
-
-    for entry in rows:
-        print("{bench:>14}  {metric:<28} {value:>12} {unit}".format(**entry))
-    print(f"wrote {args.out} ({len(rows)} rows)")
+    naming_rows: List[dict] = []
+    hot_speedup = bench_hot_resolution(naming_rows)
+    ursa_reduction = bench_ursa_cold_start(naming_rows)
+    e5_failures = bench_e5_invariants(naming_rows)
+    _write_rows(args.naming_out, naming_rows)
 
     failures = []
     if header_speedup < HEADER_ENCODE_FLOOR:
@@ -354,8 +523,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"3-gateway forwarding speedup {forwarding_speedup:.2f}x "
             f"< {FORWARDING_FLOOR}x floor"
         )
-    problems = validate(args.out)
-    failures.extend(f"schema violation: {p}" for p in problems)
+    if hot_speedup < HOT_RESOLUTION_FLOOR:
+        failures.append(
+            f"hot resolution speedup {hot_speedup:.2f}x "
+            f"< {HOT_RESOLUTION_FLOOR}x floor"
+        )
+    if ursa_reduction < URSA_NS_FLOOR:
+        failures.append(
+            f"URSA cold-start NS-request reduction {ursa_reduction:.2f}x "
+            f"< {URSA_NS_FLOOR}x floor"
+        )
+    failures.extend(e5_failures)
+    for path in (args.out, args.naming_out):
+        failures.extend(f"schema violation: {p}" for p in validate(path))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -48,6 +48,10 @@ class NameDatabase:
         self._by_name: Dict[str, List[NameRecord]] = {}
         self.registrations = 0
         self.lookups = 0
+        # Monotonic database generation (PROTOCOL.md §9): bumped by
+        # every mutation, stamped onto Name-Server replies so clients
+        # can invalidate resolution caches that predate a write.
+        self.generation = 1
 
     # -- registration ------------------------------------------------------------
 
@@ -77,6 +81,7 @@ class NameDatabase:
         """Install a record created elsewhere (replication path).
         Idempotent: re-adopting a known UAdd updates the stored record
         in place (last write wins)."""
+        self.generation += 1
         existing = self._by_uadd.get(record.uadd)
         if existing is not None:
             existing.alive = record.alive
@@ -94,6 +99,7 @@ class NameDatabase:
         if record is None or not record.alive:
             return False
         record.alive = False
+        self.generation += 1
         return True
 
     # -- resolution -----------------------------------------------------------

@@ -7,8 +7,13 @@ in ``bytes`` tail fields using a simple percent-escaped character
 encoding, keeping the entire protocol within the paper's character
 transport format.
 
-Type ids 10–29 are reserved here (see :mod:`repro.ntcs.protocol` for
+Type ids 10–39 are reserved here (see :mod:`repro.ntcs.protocol` for
 the id map).
+
+Replies that report resolution results carry the database *generation*
+(``gen``) — a monotonically increasing write counter stamped by the
+Name Server — so NSP-layer caches can discard entries that predate a
+newer write (PROTOCOL.md §9).
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ T_NS_PING = 22
 T_NS_QUERY_ATTRS = 23
 T_NS_QUERY_ATTRS_ACK = 24
 T_NS_REPL_UPDATE = 25
+T_NS_RESOLVE_BATCH = 26
+T_NS_RESOLVE_BATCH_ACK = 27
 
 # Forward-lookup status codes (ns_forward_ack.status).
 FWD_FOUND = 0
@@ -52,6 +59,7 @@ _STRUCTS = [
     ]),
     StructDef("ns_register_ack", T_NS_REGISTER_ACK, [
         Field("uadd", "u64"),
+        Field("gen", "u64"),
     ]),
     StructDef("ns_resolve_name", T_NS_RESOLVE_NAME, [
         Field("name", "char[64]"),
@@ -59,12 +67,14 @@ _STRUCTS = [
     StructDef("ns_resolve_name_ack", T_NS_RESOLVE_NAME_ACK, [
         Field("found", "u8"),
         Field("uadd", "u64"),
+        Field("gen", "u64"),
     ]),
     StructDef("ns_resolve_uadd", T_NS_RESOLVE_UADD, [
         Field("uadd", "u64"),
     ]),
     StructDef("ns_record_ack", T_NS_RECORD_ACK, [
         Field("found", "u8"),
+        Field("gen", "u64"),
         Field("record", "bytes"),
     ]),
     StructDef("ns_forward", T_NS_FORWARD, [
@@ -73,6 +83,7 @@ _STRUCTS = [
     StructDef("ns_forward_ack", T_NS_FORWARD_ACK, [
         Field("status", "u8"),
         Field("new_uadd", "u64"),
+        Field("gen", "u64"),
     ]),
     StructDef("ns_deregister", T_NS_DEREGISTER, [
         Field("uadd", "u64"),
@@ -84,6 +95,7 @@ _STRUCTS = [
     StructDef("ns_list_gw", T_NS_LIST_GW, []),
     StructDef("ns_list_gw_ack", T_NS_LIST_GW_ACK, [
         Field("count", "u32"),
+        Field("gen", "u64"),
         Field("records", "bytes"),
     ]),
     StructDef("ns_ping", T_NS_PING, []),
@@ -92,11 +104,21 @@ _STRUCTS = [
     ]),
     StructDef("ns_query_attrs_ack", T_NS_QUERY_ATTRS_ACK, [
         Field("count", "u32"),
+        Field("gen", "u64"),
         Field("records", "bytes"),
     ]),
     StructDef("ns_repl_update", T_NS_REPL_UPDATE, [
         Field("op", "char[16]"),
         Field("record", "bytes"),
+    ]),
+    StructDef("ns_resolve_batch", T_NS_RESOLVE_BATCH, [
+        Field("count", "u32"),
+        Field("names", "bytes"),
+    ]),
+    StructDef("ns_resolve_batch_ack", T_NS_RESOLVE_BATCH_ACK, [
+        Field("gen", "u64"),
+        Field("count", "u32"),
+        Field("payload", "bytes"),       # missing names + found records
     ]),
 ]
 
@@ -264,3 +286,34 @@ def decode_register_payload(data: bytes) -> Tuple[Dict[str, str], List[Tuple[str
     if not sep:
         raise ProtocolError("malformed register payload")
     return decode_attrs(attrs_text), decode_addresses(addr_text)
+
+
+# -- batched resolution (ns_resolve_batch / _ack) --------------------------------
+
+def encode_name_list(names: List[str]) -> str:
+    """A logical-name list as one escaped ';'-separated string."""
+    return ";".join(_escape(name) for name in names)
+
+
+def decode_name_list(text: str) -> List[str]:
+    """Parse an escaped ';'-separated logical-name list."""
+    if not text:
+        return []
+    return [_unescape(item) for item in text.split(";")]
+
+
+def encode_batch_payload(missing: List[str],
+                         records: List[NameRecord]) -> bytes:
+    """Bundle an ns_resolve_batch_ack payload: the names that did not
+    resolve, then the full records of those that did."""
+    return (encode_name_list(missing) + _PART_SEP).encode("ascii") \
+        + encode_records(records)
+
+
+def decode_batch_payload(data: bytes) -> Tuple[List[str], List[NameRecord]]:
+    """Split an ns_resolve_batch_ack payload into
+    (missing names, resolved records)."""
+    head, sep, tail = data.partition(_PART_SEP.encode("ascii"))
+    if not sep:
+        raise ProtocolError("malformed batch-resolve payload")
+    return decode_name_list(head.decode("ascii")), decode_records(tail)

@@ -82,6 +82,13 @@ class ReplicatedNspLayer(NspLayer):
         if not servers:
             raise NtcsError("a replicated NSP needs at least one server")
         super().__init__(nucleus, ns_uadd=servers[0][0])
+        # The resolution cache and single-flight coalescing are
+        # disabled here: generation stamps from different replicas are
+        # not comparable (each database counts its own writes), and
+        # coalescing through call_async would bypass the per-server
+        # failover loop below.
+        self.cache = None
+        self._coalesce = False
         self.servers = [uadd for uadd, _, _ in servers]
         # The LCM's Sec. 6.3 patch must treat every replica as "the
         # naming service" or the runaway recursion returns via replicas.

@@ -53,6 +53,9 @@ class _LocalNsp:
     def list_gateways(self):
         return self._db.list_gateways()
 
+    def evict_address(self, uadd: Address) -> None:
+        """No-op: the local database is authoritative, never stale."""
+
 
 class NameServer:
     """The (currently single) Name Server module."""
@@ -100,7 +103,16 @@ class NameServer:
             "ns_list_gw": self._handle_list_gw,
             "ns_ping": self._handle_ping,
             "ns_query_attrs": self._handle_query_attrs,
+            "ns_resolve_batch": self._handle_resolve_batch,
         }
+
+    # Reply types that carry the database generation (PROTOCOL.md §9);
+    # _on_request stamps it centrally so no handler can forget.
+    _GEN_REPLIES = frozenset({
+        "ns_register_ack", "ns_resolve_name_ack", "ns_record_ack",
+        "ns_forward_ack", "ns_list_gw_ack", "ns_query_attrs_ack",
+        "ns_resolve_batch_ack",
+    })
 
     # -- dispatch -----------------------------------------------------------
 
@@ -115,6 +127,8 @@ class NameServer:
         except NtcsError as exc:
             self.nucleus.log_error(f"{request.type_name} failed: {exc}")
             reply_type, values = "ns_ack", {"ok": 0, "detail": str(exc)[:90]}
+        if reply_type in self._GEN_REPLIES:
+            values.setdefault("gen", self.db.generation)
         if request.reply_expected:
             self.nucleus.lcm.reply(request, reply_type, values,
                                    flags=FLAG_INTERNAL)
@@ -177,6 +191,22 @@ class NameServer:
 
     def _handle_ping(self, request: IncomingMessage):
         return "ns_ack", {"ok": 1, "detail": "pong"}
+
+    def _handle_resolve_batch(self, request: IncomingMessage):
+        """Resolve many names in one round trip (PROTOCOL.md §9): the
+        found records ride back whole, so one reply primes both the
+        name→UAdd and UAdd→record caches."""
+        names = p.decode_name_list(request.values["names"].decode("ascii"))
+        records, missing = [], []
+        for name in names:
+            try:
+                records.append(self.db.resolve_name(name))
+            except NoSuchName:
+                missing.append(name)
+        return "ns_resolve_batch_ack", {
+            "count": len(records),
+            "payload": p.encode_batch_payload(missing, records),
+        }
 
     def _handle_query_attrs(self, request: IncomingMessage):
         query_text = request.values["query"].decode("ascii")

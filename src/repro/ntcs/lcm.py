@@ -275,14 +275,23 @@ class LcmLayer:
     # -- routing and recovery ----------------------------------------------------
 
     def _follow_forwarding(self, dst: Address) -> Address:
-        """Chase the forwarding-address table, guarding against cycles."""
+        """Chase the forwarding-address table, guarding against cycles.
+        A multi-hop chase path-compresses: every address on the walked
+        chain is repointed directly at the final target, so a long
+        relocation chain is re-walked at most once."""
         seen = {dst}
+        path = [dst]
         target = dst
         while target in self.forwarding:
             target = self.forwarding[target]
             if target in seen:
                 raise DestinationUnavailable(f"forwarding cycle at {target}")
             seen.add(target)
+            path.append(target)
+        if len(path) > 2:
+            for addr in path[:-1]:
+                self.forwarding[addr] = target
+            self.nucleus.counters.incr("lcm_forwarding_compressions")
         return target
 
     def _route_to(self, target: Address) -> Ivc:
@@ -323,8 +332,15 @@ class LcmLayer:
                     return target
                 # Unpatched: fall through and ask the naming service —
                 # which needs the very circuit that just broke.
+            nsp = nucleus.require_nsp()
+            # Cache-miss recovery (PROTOCOL.md §9): the faulted address
+            # proves any cached resolution for it is stale; evict before
+            # re-resolving so the answer comes from the naming service.
+            evict = getattr(nsp, "evict_address", None)
+            if evict is not None:
+                evict(target)
             try:
-                forward = nucleus.require_nsp().lookup_forwarding(target)
+                forward = nsp.lookup_forwarding(target)
             except NoForwardingAddress:
                 raise DestinationUnavailable(
                     f"{target} is gone and no replacement module was located"

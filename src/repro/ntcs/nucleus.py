@@ -46,6 +46,11 @@ class NucleusConfig:
         recursion_limit: maximum Nucleus re-entry depth — the
         reproduction's stand-in for the C stack limit.
         open_timeout / call_timeout: virtual-seconds deadlines.
+        nsp_cache_enabled: the NSP-layer resolution cache and
+            single-flight coalescing (PROTOCOL.md §9).  Off reproduces
+            the uncached control plane message-for-message.
+        nsp_negative_ttl: virtual seconds a cached negative resolution
+            (no such name / address / forwarding) stays valid.
         trace: record layer entry/exit (Sec. 6.2 debugging support).
     """
 
@@ -57,6 +62,8 @@ class NucleusConfig:
     open_timeout: float = 5.0
     call_timeout: float = 10.0
     call_retries: int = 2
+    nsp_cache_enabled: bool = True
+    nsp_negative_ttl: float = 2.0
     trace: bool = False
 
 

@@ -75,6 +75,21 @@ class RealDeployment:
         self.modules[name] = commod
         return commod
 
+    def warm_naming(self) -> int:
+        """Batch-prefetch the control plane (PROTOCOL.md §9): one
+        ``ns_resolve_batch`` round trip per module primes its resolution
+        cache with every registered peer's record, replacing one NS
+        round trip per (module, peer) pair at first contact.  Returns
+        the number of batch calls (0 when the cache is disabled)."""
+        if not self.config.nsp_cache_enabled or not self.modules:
+            return 0
+        names = sorted(self.modules)
+        batches = 0
+        for commod in self.modules.values():
+            commod.nsp.resolve_batch(names)
+            batches += 1
+        return batches
+
     def settle(self, duration: float = 0.05) -> None:
         """Let in-flight socket traffic drain (wall-clock)."""
         self.kernel.wait(duration)

@@ -102,6 +102,48 @@ def pipeline_lines(results_dir: Optional[str] = None) -> List[str]:
     return lines
 
 
+def _naming_path(results_dir: Optional[str] = None) -> str:
+    # BENCH_naming.json sits next to BENCH_pipeline.json at the repo
+    # root, written by the same microbench run.
+    return os.path.join(os.path.dirname(_pipeline_path(results_dir)),
+                        "BENCH_naming.json")
+
+
+def naming_lines(results_dir: Optional[str] = None) -> List[str]:
+    """The control-plane work-saved table as markdown lines (empty when
+    BENCH_naming.json is absent or unreadable)."""
+    path = _naming_path(results_dir)
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(rows, list) or not rows:
+        return []
+    lines = [
+        "## Control-plane work saved (benchmarks/microbench.py)",
+        "",
+        "From `BENCH_naming.json` — the PROTOCOL.md §9 resolution cache, "
+        "single-flight coalescing, and batched Name-Server operations, "
+        "plus the pinned E5-internet invariants re-checked with the "
+        "cache on.  Regenerate with `python benchmarks/microbench.py`.",
+        "",
+        "| bench | metric | value | unit |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        lines.append(
+            "| {bench} | {metric} | {value} | {unit} |".format(
+                bench=row.get("bench", "?"), metric=row.get("metric", "?"),
+                value=row.get("value", "?"), unit=row.get("unit", "?"),
+            )
+        )
+    lines.append("")
+    return lines
+
+
 def compose_report(results_dir: Optional[str] = None,
                    now: Optional[str] = None) -> str:
     """The full markdown report as a string."""
@@ -134,6 +176,7 @@ def compose_report(results_dir: Optional[str] = None,
             lines.append("```")
             lines.append("")
     lines.extend(pipeline_lines(results_dir))
+    lines.extend(naming_lines(results_dir))
     missing = [exp_id for _, exp_id, _ in _EXPERIMENTS
                if exp_id not in seen]
     if missing:

@@ -59,10 +59,36 @@ def deploy_ursa(
     for i, machine in enumerate(host_machines or []):
         commod = bed.module(f"ursa.host.{i}", machine, register=False)
         hosts.append(UrsaHost(commod, name=f"ursa.host.{i}"))
-    return UrsaSystem(
+    system = UrsaSystem(
         corpus=corpus,
         index_servers=index_servers,
         search_server=search_server,
         document_server=document_server,
         hosts=hosts,
     )
+    if bed.config.nsp_cache_enabled:
+        warm_ursa_naming(system)
+    return system
+
+
+def warm_ursa_naming(system: UrsaSystem) -> int:
+    """Prefetch each module's peers with batched Name-Server calls
+    (PROTOCOL.md §9): one ``ns_resolve_batch`` round trip per module
+    primes its resolution cache with the full records of every peer it
+    will talk to, replacing one round trip per (module, peer) pair
+    during cold start.  Returns the number of batch calls issued."""
+    batches = 0
+    for host in system.hosts:
+        host.commod.nsp.resolve_batch([host.search_name, host.docs_name])
+        batches += 1
+    index_names = sorted(
+        f"ursa.index.{server.shard}" for server in system.index_servers
+    )
+    if index_names:
+        # The search and document servers fan out to every shard on
+        # their first query/ingest; warm the UAdd→record map they will
+        # need (shard discovery itself is attribute-based, not cached).
+        system.search_server.commod.nsp.resolve_batch(index_names)
+        system.document_server.commod.nsp.resolve_batch(index_names)
+        batches += 2
+    return batches

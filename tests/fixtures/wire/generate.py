@@ -1,10 +1,12 @@
 """Golden wire-fixture generator.
 
 Run ONCE against the pre-fast-path codecs (PR 2) to freeze the wire
-format, and never again: the fixtures' whole value is that they were
-produced by the per-byte shift/mask implementation the batch codecs
-replaced.  ``tests/test_wire_golden.py`` replays the manifest against
-the live codecs and fails on any byte-level drift.
+format; later PRs may *extend* the case list (e.g. the §9 batched
+naming operations), but a re-run must leave every existing ``.bin``
+byte-identical — the fixtures' whole value is that they were produced
+by the implementation that froze the format.
+``tests/test_wire_golden.py`` replays the manifest against the live
+codecs and fails on any byte-level drift.
 
     PYTHONPATH=src python tests/fixtures/wire/generate.py
 """
@@ -13,6 +15,8 @@ import json
 import os
 
 from repro.conversion import ConversionRegistry, Field, StructDef
+from repro.naming import protocol as np
+from repro.naming.protocol import register_naming_types
 from repro.ntcs import message as m
 from repro.ntcs.address import Address
 from repro.ntcs.protocol import register_nucleus_types
@@ -39,10 +43,38 @@ CONTROL_BODIES = {
     "ivc_close": {"reason": "upstream circuit failed: peer died"},
 }
 
+# One fixed record shared by the naming-frame fixtures (PROTOCOL.md §9).
+GOLDEN_RECORD = np.NameRecord(
+    name="echo.server", uadd=Address(value=17), mtype_name="Sun-3",
+    attrs={"kind": "echo"}, addresses=[("ether0", "tcp:ether0:sun1:5002")],
+    alive=True, registered_at=0.125,
+)
+
+# Naming-service bodies frozen here: the generation-stamped acks and the
+# batched resolve pair.  ``bytes`` fields are stored hex-encoded in the
+# manifest (JSON cannot carry raw bytes); the replay test consults the
+# StructDef to decode them.
+NAMING_BODIES = {
+    "ns_resolve_name_ack": {"found": 1, "uadd": 17, "gen": 4},
+    "ns_record_ack": {"found": 1, "gen": 4,
+                      "record": np.encode_records([GOLDEN_RECORD])},
+    "ns_forward_ack": {"status": np.FWD_FOUND, "new_uadd": 33, "gen": 5},
+    "ns_resolve_batch": {
+        "count": 2,
+        "names": np.encode_name_list(
+            ["echo.server", "no.such"]).encode("ascii"),
+    },
+    "ns_resolve_batch_ack": {
+        "gen": 4, "count": 1,
+        "payload": np.encode_batch_payload(["no.such"], [GOLDEN_RECORD]),
+    },
+}
+
 
 def build_registry():
     registry = ConversionRegistry()
     register_nucleus_types(registry)
+    register_naming_types(registry)
     registry.register(APP_SDEF)
     return registry
 
@@ -77,6 +109,13 @@ def cases(registry):
                            flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
                            type_id=entry.sdef.type_id, aux=aux,
                            body=entry.pack(values)))
+    for corr_id, (name, values) in enumerate(sorted(NAMING_BODIES.items()),
+                                             start=20):
+        entry = registry.get_by_name(name)
+        yield (name, m.Msg(kind=m.DATA, src=src, dst=dst,
+                           flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+                           type_id=entry.sdef.type_id, corr_id=corr_id,
+                           body=entry.pack(values)))
 
 
 def main():
@@ -86,6 +125,11 @@ def main():
                 "app_values_packed_hex": registry.get_by_name(
                     "golden_app").pack(APP_VALUES).hex(),
                 "control_bodies": CONTROL_BODIES,
+                "naming_bodies": {
+                    name: {key: (value.hex() if isinstance(value, bytes)
+                                 else value)
+                           for key, value in values.items()}
+                    for name, values in NAMING_BODIES.items()},
                 "frames": []}
     for name, msg in cases(registry):
         frame = msg.encode()

@@ -33,6 +33,39 @@ def test_identical_runs_produce_identical_timelines():
     assert first == second
 
 
+def _application_answers(cache_enabled):
+    """Everything an application can observe from a locate/call/negative
+    workload, plus the Name-Server resolution traffic it cost."""
+    from repro.errors import NoSuchName
+
+    bed = single_net(config=NucleusConfig(nsp_cache_enabled=cache_enabled))
+    echo_server(bed, "dest", "sun1")
+    client = bed.module("client", "vax1")
+    answers = []
+    for i in range(5):
+        uadd = client.ali.locate("dest")
+        reply = client.ali.call(uadd, "echo", {"n": i, "text": f"m{i}"})
+        answers.append((uadd.value, reply.values["n"], reply.values["text"]))
+    try:
+        client.ali.locate("ghost")
+        answers.append("resolved")
+    except NoSuchName:
+        answers.append("no-such-name")
+    resolves = bed.name_server_instance.counters["ns_resolve_name"]
+    return answers, resolves
+
+
+def test_cache_ablation_same_answers_fewer_messages():
+    """PROTOCOL.md §9: the resolution cache changes control-plane
+    traffic, never application-visible answers — and turning it off
+    reproduces the historical one-round-trip-per-resolution counts."""
+    on_answers, on_resolves = _application_answers(cache_enabled=True)
+    off_answers, off_resolves = _application_answers(cache_enabled=False)
+    assert on_answers == off_answers
+    assert off_resolves == 6   # 5 locates + 1 failed locate, uncached
+    assert on_resolves == 2    # one per distinct name, then cache hits
+
+
 def _run_faulty_scenario(seed):
     bed = two_nets()
     bed.networks["ether0"].faults._rng.seed(seed)

@@ -131,11 +131,22 @@ def test_attribute_based_location(bed):
 
 
 def test_deregistered_module_not_resolvable(bed):
+    """Deregistration is visible immediately to fresh resolvers; a
+    module holding a cached resolution sees it at its next Name-Server
+    contact, when the reply's newer database generation flushes the
+    stale entry (PROTOCOL.md §9: caches may lie, briefly)."""
     worker = bed.module("worker", "sun1")
     client = bed.module("client", "vax1")
-    client.ali.locate("worker")
+    stale = client.ali.locate("worker")
     worker.ali.deregister()
     from repro.errors import NoSuchName
+    fresh = bed.module("fresh", "vax1")
+    with pytest.raises(NoSuchName):
+        fresh.ali.locate("worker")
+    # The cached client still serves the optimistic entry...
+    assert client.ali.locate("worker") == stale
+    # ...until any Name-Server reply carries the post-write generation.
+    client.nucleus.nsp.resolve_uadd(stale)
     with pytest.raises(NoSuchName):
         client.ali.locate("worker")
 
