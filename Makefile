@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke all
+.PHONY: lint test bench bench-smoke chaos all
 
 all: lint test
 
@@ -17,6 +17,15 @@ lint:
 # the lint gate and the seeded-violation fixtures).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Chaos suite (PROTOCOL.md §10): deterministic fault schedules,
+# gateway/Name-Server crash recovery, FaultPlan edge cases, and
+# property-based random schedules.  NTCS_CHAOS_SEED offsets the
+# scripted scenarios' chaos seeds so CI sweeps several seeds; a failing
+# random schedule writes its replay JSON into chaos-failures/.
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py tests/test_property_chaos.py \
+	    tests/test_faults_unit.py -q
 
 # Experiment benches; tables land in benchmarks/results/.
 bench:

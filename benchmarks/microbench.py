@@ -44,6 +44,7 @@ sys.path.insert(0, os.path.join(REPO, "tests"))
 
 OUT_PATH = os.path.join(REPO, "BENCH_pipeline.json")
 NAMING_OUT_PATH = os.path.join(REPO, "BENCH_naming.json")
+RECOVERY_OUT_PATH = os.path.join(REPO, "BENCH_recovery.json")
 SCHEMA_KEYS = ("bench", "metric", "value", "unit", "virtual_ms", "wall_ms")
 
 HEADER_ENCODE_FLOOR = 3.0   # x, header encode+decode vs per-byte loops
@@ -61,6 +62,14 @@ CONTROL_PLANE_COUNTERS = (
     "nsp_cache_hits", "nsp_cache_misses", "nsp_cache_invalidations",
     "nsp_calls_coalesced", "nsp_batch_resolves",
 )
+
+# The §10 circuit-repair counters surfaced in the recovery table.
+RECOVERY_COUNTERS = (
+    "lcm_circuit_repairs", "ivc_reopen_attempts", "ns_failovers",
+    "lcm_duplicate_requests_suppressed", "ip_suspect_fallbacks",
+    "lcm_circuit_faults",
+)
+RECOVERY_BACKOFF_BUCKETS = 8
 
 
 # ---------------------------------------------------------------------------
@@ -430,6 +439,65 @@ def bench_e5_invariants(rows: List[dict]) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Crash recovery bench (PROTOCOL.md §10) -> BENCH_recovery.json
+# ---------------------------------------------------------------------------
+
+def bench_recovery(rows: List[dict]) -> List[str]:
+    """The chaos repair run: crash the middle gateway of the E5
+    3-gateway internet mid-conversation under a seeded schedule, finish
+    the conversation through circuit repair, and read the §10 counters
+    (repairs, reopen attempts, NS failovers, backoff histogram) off the
+    client.  The run executes twice; any counter or virtual-time drift
+    between the two same-seed runs is a failure."""
+    from deployments import chain_nets, echo_server
+    from repro.netsim import ChaosSchedule
+    from repro.ntcs.nucleus import NucleusConfig
+
+    def run():
+        bed = chain_nets(3, config=NucleusConfig(
+            chaos_seed=5, repair_max_attempts=8))
+        echo_server(bed, "far.echo", "mEnd")
+        client = bed.module("client", "m0")
+        uadd = client.ali.locate("far.echo")
+        client.ali.call(uadd, "echo", {"n": 0, "text": "warm"})
+        t0 = bed.now
+        bed.chaos(ChaosSchedule(seed=5)
+                  .crash(bed.now + 0.005, "gwm1")
+                  .restart(bed.now + 0.35, "gwm1"))
+        bed.run_for(0.01)
+        for i in (1, 2, 3):
+            client.ali.call(uadd, "echo", {"n": i, "text": "mid"},
+                            timeout=120.0)
+        bed.settle()
+        control = sum(gw.inter_gateway_control_messages
+                      for gw in bed.gateways.values())
+        return client.nucleus.counters.snapshot(), bed.now - t0, control
+
+    snap, elapsed, control = run()
+    snap2, elapsed2, _ = run()
+
+    failures = []
+    if snap != snap2 or elapsed != elapsed2:
+        failures.append(
+            "recovery run is not deterministic under a fixed chaos seed")
+    if snap.get("lcm_circuit_repairs", 0) < 1:
+        failures.append("recovery run completed without a circuit repair")
+    if control != 0:
+        failures.append(
+            f"recovery run produced {control} inter-gateway control messages")
+
+    for name in RECOVERY_COUNTERS:
+        rows.append(row("recovery", name, snap.get(name, 0), "events"))
+    for bucket in range(RECOVERY_BACKOFF_BUCKETS):
+        key = f"repair_backoff_bucket_{bucket}"
+        rows.append(row("recovery", key, snap.get(key, 0), "rounds"))
+    rows.append(row("recovery", "inter_gw_control", control, "messages"))
+    rows.append(row("recovery", "repair_window", elapsed * 1000.0, "ms",
+                    virtual_ms=elapsed * 1000.0))
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Schema validation (--check)
 # ---------------------------------------------------------------------------
 
@@ -481,17 +549,20 @@ def _write_rows(path: str, rows: List[dict]) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
-                        help="validate BENCH_pipeline.json and "
-                             "BENCH_naming.json, then exit")
+                        help="validate BENCH_pipeline.json, "
+                             "BENCH_naming.json and BENCH_recovery.json, "
+                             "then exit")
     parser.add_argument("--out", default=OUT_PATH,
                         help="pipeline output path (default: repo root)")
     parser.add_argument("--naming-out", default=NAMING_OUT_PATH,
                         help="naming output path (default: repo root)")
+    parser.add_argument("--recovery-out", default=RECOVERY_OUT_PATH,
+                        help="recovery output path (default: repo root)")
     args = parser.parse_args(argv)
 
     if args.check:
         problems = []
-        for path in (args.out, args.naming_out):
+        for path in (args.out, args.naming_out, args.recovery_out):
             found = validate(path)
             for problem in found:
                 print(f"schema violation: {problem}", file=sys.stderr)
@@ -511,6 +582,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     ursa_reduction = bench_ursa_cold_start(naming_rows)
     e5_failures = bench_e5_invariants(naming_rows)
     _write_rows(args.naming_out, naming_rows)
+
+    recovery_rows: List[dict] = []
+    recovery_failures = bench_recovery(recovery_rows)
+    _write_rows(args.recovery_out, recovery_rows)
 
     failures = []
     if header_speedup < HEADER_ENCODE_FLOOR:
@@ -534,7 +609,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"< {URSA_NS_FLOOR}x floor"
         )
     failures.extend(e5_failures)
-    for path in (args.out, args.naming_out):
+    failures.extend(recovery_failures)
+    for path in (args.out, args.naming_out, args.recovery_out):
         failures.extend(f"schema violation: {p}" for p in validate(path))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

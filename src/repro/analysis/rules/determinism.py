@@ -19,6 +19,12 @@ DET003 (error) ambient randomness: module-level ``random.*`` functions
                ``random.Random()`` / any ``random.SystemRandom``.
                Seeded ``random.Random(seed)`` is the sanctioned idiom.
 DET004 (error) argless ``datetime.now()`` / ``utcnow()`` / ``today()``.
+DET005 (error) chaos/repair modules (:data:`_REPAIR_MODULES`) must not
+               construct ``random.Random`` at all — even seeded.  Their
+               streams must come from ``repro.util.seeds.derive_rng``,
+               which derives per-module seeds with crc32 (stable across
+               processes, unlike string ``hash()``), so a chaos schedule
+               replays bit-identically from its seed alone.
 """
 
 from __future__ import annotations
@@ -40,6 +46,16 @@ _CLOCK_READS = {"time", "monotonic", "perf_counter",
                 "time_ns", "monotonic_ns", "perf_counter_ns"}
 _DATETIME_ARGLESS = {"now", "utcnow", "today"}
 
+# Modules whose randomness must replay from a chaos seed alone: the
+# fault scheduler and the circuit-repair path (backoff jitter).  These
+# may only draw streams from repro.util.seeds.derive_rng (DET005).
+_REPAIR_MODULES: Tuple[str, ...] = (
+    "repro.netsim.chaos",
+    "repro.ntcs.lcm",
+    "repro.ntcs.iplayer",
+    "repro.ntcs.gateway",
+)
+
 
 def _exempt(module_name: str) -> bool:
     return any(module_name == p or module_name.startswith(p + ".")
@@ -48,11 +64,11 @@ def _exempt(module_name: str) -> bool:
 
 @rule(
     name="determinism",
-    ids=("DET001", "DET002", "DET003", "DET004"),
+    ids=("DET001", "DET002", "DET003", "DET004", "DET005"),
     description="sim code uses virtual time and seeded RNGs only",
 )
 def check_determinism(project: Project) -> Iterable[Finding]:
-    """Emit DET001–DET004 findings for wall-clock/RNG use in sim code."""
+    """Emit DET001–DET005 findings for wall-clock/RNG use in sim code."""
     findings: List[Finding] = []
     for module in project.modules:
         if _exempt(module.name):
@@ -100,6 +116,11 @@ def _check_from_import(module: ModuleInfo,
                 yield _finding("DET003", module, node.lineno,
                                f"imports random.{alias.name} (process-global "
                                f"RNG); use a seeded random.Random instead")
+            elif module.name in _REPAIR_MODULES:
+                yield _finding("DET005", module, node.lineno,
+                               "chaos/repair module imports random.Random; "
+                               "draw streams from repro.util.seeds.derive_rng "
+                               "so runs replay from the chaos seed alone")
 
 
 def _check_call(module: ModuleInfo, node: ast.Call,
@@ -122,7 +143,13 @@ def _check_call(module: ModuleInfo, node: ast.Call,
             yield _finding("DET003", module, node.lineno,
                            "random.SystemRandom is inherently nondeterministic")
         elif func.attr == "Random":
-            if not node.args and not node.keywords:
+            if module.name in _REPAIR_MODULES:
+                yield _finding("DET005", module, node.lineno,
+                               "chaos/repair module constructs random.Random "
+                               "directly (even seeded); use "
+                               "repro.util.seeds.derive_rng so runs replay "
+                               "from the chaos seed alone")
+            elif not node.args and not node.keywords:
                 yield _finding("DET003", module, node.lineno,
                                "unseeded random.Random(); pass an explicit seed")
         else:

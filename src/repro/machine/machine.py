@@ -111,5 +111,13 @@ class Machine:
             if process.alive:
                 process.kill()
 
+    def revive(self) -> None:
+        """Bring a crashed machine back: interfaces come up, ready for
+        new processes.  Old processes stay dead — restarting components
+        is explicit, like rebooting a host and relaunching its daemons."""
+        self.alive = True
+        for iface in self._interfaces.values():
+            iface.up = True
+
     def __repr__(self) -> str:
         return f"Machine({self.name!r}, {self.mtype.name}, nets={self.networks})"

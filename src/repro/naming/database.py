@@ -158,10 +158,12 @@ class NameDatabase:
     # -- directory queries -------------------------------------------------------
 
     def list_gateways(self) -> List[NameRecord]:
-        """All alive records registered with kind=gateway."""
+        """Active gateway records: alive *and* not superseded by a newer
+        same-name registration — so a restarted gateway's fresh record
+        replaces its predecessor in everyone's route planning."""
         return [
             record for record in self._by_uadd.values()
-            if record.alive and record.is_gateway
+            if record.is_gateway and self.is_active(record)
         ]
 
     def query_attrs(self, required: Dict[str, str]) -> List[NameRecord]:

@@ -120,6 +120,7 @@ class ReplicatedNspLayer(NspLayer):
                     last_error = exc
                     if i + 1 < len(self.servers):
                         self.failovers += 1
+                        nucleus.counters.incr("ns_failovers")
                     continue
                 self._current = index
                 return reply

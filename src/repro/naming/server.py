@@ -82,13 +82,25 @@ class NameServer:
         self.db = db if db is not None else NameDatabase(clock=lambda: scheduler.now)
         self.listen_blob = self.nucleus.nd.create_resource(binding)
         # Self-registration is purely local — this is the base case that
-        # terminates the naming recursion.
-        record = self.db.register(
-            self.name,
-            attrs={"kind": "nameserver"},
-            addresses=[(network, self.listen_blob)],
-            mtype_name=process.machine.mtype.name,
-        )
+        # terminates the naming recursion.  A *restarted* Name Server
+        # handed its surviving database must keep its original UAdd:
+        # every module's well-known table knows that address by
+        # convention, and endpoints of chained opens check it with
+        # is_self.  Reuse the existing record — refreshing its physical
+        # address — instead of registering a second identity.
+        try:
+            record = self.db.resolve_name(self.name)
+            record.alive = True
+            record.addresses = [(network, self.listen_blob)]
+            self.db.adopt(record)
+        except NoSuchName:
+            # First boot: nothing to take over — register fresh.
+            record = self.db.register(
+                self.name,
+                attrs={"kind": "nameserver"},
+                addresses=[(network, self.listen_blob)],
+                mtype_name=process.machine.mtype.name,
+            )
         self.uadd = record.uadd
         self.nucleus.set_identity(self.uadd)
         self.nucleus.nsp = _LocalNsp(self.db)

@@ -15,6 +15,7 @@ from repro.netsim.scheduler import Scheduler, Event
 from repro.netsim.network import Network, Interface, Datagram
 from repro.netsim.faults import FaultPlan
 from repro.netsim.sniffer import Sniffer, SniffedFrame
+from repro.netsim.chaos import ChaosEngine, ChaosEvent, ChaosSchedule, random_schedule
 
 __all__ = [
     "Scheduler",
@@ -25,4 +26,8 @@ __all__ = [
     "FaultPlan",
     "Sniffer",
     "SniffedFrame",
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "random_schedule",
 ]

@@ -54,11 +54,20 @@ class FaultPlan:
         self._partition = None
 
     def clear(self) -> None:
-        """Remove every configured fault (drop counters are kept)."""
+        """Remove every *configured* fault: probabilistic loss, pending
+        ``drop_next`` budget, severed links, and the partition.  The
+        ``dropped`` statistic is an observation, not a configuration,
+        and is deliberately kept — callers diffing it across a chaos
+        window must not lose the tally when the window is cleared."""
         self.drop_probability = 0.0
         self._drop_next = 0
         self._severed.clear()
         self._partition = None
+
+    @property
+    def pending_drops(self) -> int:
+        """How many unconditional ``drop_next`` drops remain armed."""
+        return self._drop_next
 
     # -- consultation -----------------------------------------------------
 

@@ -51,9 +51,15 @@ class Gateway:
         registry: the deployment's conversion registry.
         wellknown: the deployment's well-known address table.
         config: Nucleus configuration shared by all stacks.
+        bindings: optional network -> binding (TCP port / MBX pathname)
+            pinning each stack's listening endpoint.  A restarted
+            gateway passes its previous bindings so well-known prime
+            blobs and peers' cached routes stay valid (PROTOCOL.md §10).
     """
 
-    def __init__(self, process, registry, wellknown, config: Optional[NucleusConfig] = None):
+    def __init__(self, process, registry, wellknown,
+                 config: Optional[NucleusConfig] = None,
+                 bindings: Optional[Dict[str, str]] = None):
         self.process = process
         self.wellknown = wellknown
         networks = process.machine.networks
@@ -66,7 +72,7 @@ class Gateway:
         for network in networks:
             nucleus = Nucleus(process, network, registry, wellknown, config=config)
             nucleus.gateway_handler = self
-            nucleus.nd.create_resource()
+            nucleus.nd.create_resource((bindings or {}).get(network))
             self.stacks[network] = nucleus
         # inbound/outbound pairing of pass-through circuits.
         self._splices: Dict[Lvc, Tuple[Nucleus, Lvc]] = {}
@@ -239,7 +245,18 @@ class Gateway:
             gw_dst = plan.gw_uadd or nucleus.tadds.allocate()
             if self.uadd is not None and plan.gw_uadd == self.uadd:
                 continue  # never route through ourselves
-            lvc = nucleus.nd.open_lvc(gw_dst, plan.blob, reason="next gateway hop")
+            try:
+                lvc = nucleus.nd.open_lvc(gw_dst, plan.blob,
+                                          reason="next gateway hop")
+            except AddressFault as exc:
+                # The chosen next gateway is dead (Sec. 4.3): evict the
+                # stale route so the next establishment replans from the
+                # naming service's current topology, mark the hop
+                # suspect, and try the remaining stacks.
+                nucleus.ip.route_cache.pop(dst_network, None)
+                nucleus.ip.note_gateway_fault(plan.gw_uadd)
+                errors.append(str(exc))
+                continue
             return nucleus, lvc
         raise RouteNotFound(
             f"no onward route to {dst_network!r}: {'; '.join(errors) or 'no gateways'}"

@@ -25,7 +25,7 @@ destination machine type is visible".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.conversion.modes import encode_values
 from repro.errors import (
@@ -100,6 +100,10 @@ class IpLayer:
         # Which prime gateway we are currently using toward the Name
         # Server (rotated when one fails; Sec. 3.4's primes are plural).
         self._prime_index = 0
+        # Gateways whose circuits recently failed (PROTOCOL.md §10):
+        # route planning prefers paths avoiding them until a chained
+        # open through one succeeds again.
+        self._suspect_gateways: Set[Address] = set()
         self._deliver_upcall: Callable[[Ivc, m.Msg], None] = lambda ivc, msg: None
         self._fault_upcall: Callable[[Ivc, str], None] = lambda ivc, reason: None
 
@@ -137,6 +141,7 @@ class IpLayer:
                 # replans — from the naming service's current topology,
                 # or, for the Name Server itself, the next prime gateway.
                 self.route_cache.pop(plan.dst_network, None)
+                self.note_gateway_fault(plan.gw_uadd)
                 if dst == nucleus.wellknown.ns_uadd:
                     self._prime_index += 1
                 raise AddressFault(dst, f"first-hop gateway unreachable: {exc}")
@@ -166,9 +171,14 @@ class IpLayer:
                 # A NAK naming a stale route means the cached first hop
                 # may be wrong; drop it so the retry replans.
                 self.route_cache.pop(plan.dst_network, None)
+                self.note_gateway_fault(plan.gw_uadd)
                 if dst == nucleus.wellknown.ns_uadd:
                     self._prime_index += 1
                 raise AddressFault(dst, failure)
+            if plan.gw_uadd is not None:
+                # A chained open through this gateway just worked: any
+                # earlier suspicion of it is disproved.
+                self._suspect_gateways.discard(plan.gw_uadd)
             nucleus.counters.incr("ivc_chained_opened")
             return ivc
 
@@ -220,6 +230,14 @@ class IpLayer:
         nucleus.addr_cache.store(dst, remote_blob, record.mtype_name)
         return self._gateway_plan(dst, dst_network)
 
+    def note_gateway_fault(self, gw_uadd: Optional[Address]) -> None:
+        """Mark a first-hop gateway suspect (its circuit just failed):
+        route planning prefers alternatives until a chained open through
+        it succeeds again.  Gateways call this on next-hop failures so
+        repaired sends replan around the dead hop."""
+        if gw_uadd is not None:
+            self._suspect_gateways.add(gw_uadd)
+
     def _gateway_plan(self, dst: Address, dst_network: str) -> _Plan:
         nucleus = self.nucleus
         local = self.local_network
@@ -237,9 +255,31 @@ class IpLayer:
         """Pick the first gateway toward ``dst_network`` from the
         topology registered in the naming service: a breadth-first
         search over gateway adjacency, computed locally from centrally
-        stored information (Sec. 4.2)."""
+        stored information (Sec. 4.2).
+
+        Suspect gateways (recent circuit faults) are avoided when an
+        alternative path exists; when every path leads through a
+        suspect, the search falls back to the full gateway set rather
+        than declaring the destination unreachable."""
         gateways = self.nucleus.require_nsp().list_gateways()
         self.nucleus.counters.incr("topology_queries")
+        if self._suspect_gateways:
+            healthy = [gw for gw in gateways
+                       if gw.uadd not in self._suspect_gateways]
+            hop = self._bfs_first_hop(local, dst_network, healthy)
+            if hop is not None:
+                return hop
+            self.nucleus.counters.incr("ip_suspect_fallbacks")
+        hop = self._bfs_first_hop(local, dst_network, gateways)
+        if hop is None:
+            raise RouteNotFound(
+                f"no gateway chain from {local!r} to {dst_network!r}")
+        return hop
+
+    def _bfs_first_hop(self, local: str, dst_network: str,
+                       gateways: List) -> Optional[Tuple[Address, str]]:
+        """One breadth-first pass over a candidate gateway set; None
+        when no chain reaches ``dst_network``."""
         # networks adjacency: network -> [(gateway record, its networks)]
         frontier = [(local, None)]  # (network, first-hop gateway record)
         seen = {local}
@@ -262,7 +302,7 @@ class IpLayer:
                         seen.add(reachable)
                         next_frontier.append((reachable, hop))
             frontier = next_frontier
-        raise RouteNotFound(f"no gateway chain from {local!r} to {dst_network!r}")
+        return None
 
     # -- data path ---------------------------------------------------------------
 

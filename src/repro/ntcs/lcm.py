@@ -15,13 +15,24 @@ service would recurse forever ("until either the stack overflows, or
 the connection can be reestablished"), so a patched LCM retries through
 the well-known physical address instead.  The patch is configurable
 specifically so experiment E9 can reproduce the unpatched failure.
+
+Circuit repair (PROTOCOL.md §10) wraps the Sec. 3.5 machinery in a
+bounded outer loop: when one relocation round exhausts (a mid-chain
+gateway died, or the Name Server is briefly unreachable), the send
+backs off — exponentially, with jitter drawn from the module's seeded
+repair RNG — and replans from the naming service's current topology.
+Delivery semantics survive repair: one logical call keeps one
+correlation id across retries, and the receive side suppresses
+redelivered requests (replaying the cached reply), so repair never
+duplicates an application message and never silently reorders a
+sender's stream.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.conversion.modes import decode_body
 from repro.errors import (
@@ -117,12 +128,20 @@ class LcmLayer:
 
     LAYER = "LCM"
     MAX_SEND_ATTEMPTS = 3
+    # Bound on the served-request memory backing duplicate suppression.
+    SERVED_LIMIT = 128
 
     def __init__(self, nucleus):
         self.nucleus = nucleus
         self.ip = nucleus.ip
         self.ip.set_upcalls(deliver=self._on_deliver, fault=self._on_fault)
         self._routes: Dict[Address, Ivc] = {}
+        # Targets whose *established* circuit has faulted since the
+        # last successful send: the next send that goes through to one
+        # of them completed a circuit repair (PROTOCOL.md §10).  A
+        # first-establishment hiccup never enters this set, so cold
+        # starts and ordinary relocation-follows are not counted.
+        self._faulted_targets: Set[Address] = set()
         # The local forwarding-address table (Sec. 3.5).
         self.forwarding: Dict[Address, Address] = {}
         self._pending: Dict[int, _PendingCall] = {}
@@ -130,6 +149,12 @@ class LcmLayer:
         self._handler: Optional[Callable[[IncomingMessage], None]] = None
         self._corr = SequenceGenerator()
         self._ns_fault_streak = 0
+        # Duplicate suppression (PROTOCOL.md §10): requests already
+        # accepted, keyed (src, corr_id) -> cached reply args, or None
+        # while the handler is still running.  Bounded FIFO so a
+        # long-lived server forgets the oldest conversations first.
+        self._served: Dict[Tuple[Address, int], Optional[tuple]] = {}
+        self._served_order: Deque[Tuple[Address, int]] = deque()
 
     # -- primitives -----------------------------------------------------------
 
@@ -143,7 +168,13 @@ class LcmLayer:
         force_mode: Optional[int] = None,
     ) -> None:
         """Send one message; circuits are established (and relocation
-        performed) as needed.  Blocking until handed to the wire."""
+        performed) as needed.  Blocking until handed to the wire.
+
+        When one relocation round exhausts — a mid-chain gateway died,
+        or the naming service is briefly unreachable — circuit repair
+        (PROTOCOL.md §10) backs off and replans, up to
+        ``repair_max_attempts`` rounds.  With the knob at 0 the
+        pre-repair fault behavior is reproduced message for message."""
         nucleus = self.nucleus
         entry = nucleus.registry.get_by_name(type_name)
         with nucleus.enter(self.LAYER, "send", reason=type_name):
@@ -151,32 +182,92 @@ class LcmLayer:
             # recurse into the time service, so skip it when no monitor
             # record will be emitted.
             timestamp = nucleus.timestamp() if nucleus.monitoring_active else 0.0
-            target = self._follow_forwarding(dst)
-            last_error: Optional[Exception] = None
-            for _ in range(self.MAX_SEND_ATTEMPTS):
+            budget = max(0, nucleus.config.repair_max_attempts)
+            round_no = 0
+            while True:
                 try:
-                    ivc = self._route_to(target)
-                    msg = m.Msg(
-                        kind=m.DATA, src=nucleus.self_addr, dst=target,
-                        flags=flags, corr_id=corr_id,
+                    target = self._send_round(
+                        dst, entry, values, flags, corr_id, force_mode,
+                        repairing=round_no > 0,
                     )
-                    self.ip.send_values(ivc, msg, entry.sdef.type_id, values,
-                                        force_mode=force_mode)
-                except _TRANSIENT as exc:
-                    last_error = exc
-                    self._drop_route(target)
-                    target = self._address_fault(target, exc)
-                    continue
-                self._ns_fault_streak = 0
-                nucleus.emit_monitor({
-                    "event": "send", "peer": str(target),
-                    "type": type_name, "t": timestamp,
-                })
-                return
-            raise DestinationUnavailable(
-                f"send to {dst} failed after {self.MAX_SEND_ATTEMPTS} attempts: "
-                f"{last_error}"
-            )
+                    break
+                except (DestinationUnavailable, NameServerUnreachable) as exc:
+                    if round_no >= budget:
+                        raise
+                    round_no += 1
+                    self._repair_backoff(round_no, dst, exc)
+            nucleus.emit_monitor({
+                "event": "send", "peer": str(target),
+                "type": type_name, "t": timestamp,
+            })
+
+    def _send_round(
+        self,
+        dst: Address,
+        entry,
+        values: dict,
+        flags: int,
+        corr_id: int,
+        force_mode: Optional[int],
+        repairing: bool,
+    ) -> Address:
+        """One Sec. 3.5 relocation round: bounded attempts, each failure
+        running the address-fault handler.  Returns the final target on
+        success; raises when the round exhausts."""
+        nucleus = self.nucleus
+        target = self._follow_forwarding(dst)
+        last_error: Optional[Exception] = None
+        for _ in range(self.MAX_SEND_ATTEMPTS):
+            try:
+                ivc = self._route_to(
+                    target, repairing=repairing or last_error is not None)
+                msg = m.Msg(
+                    kind=m.DATA, src=nucleus.self_addr, dst=target,
+                    flags=flags, corr_id=corr_id,
+                )
+                self.ip.send_values(ivc, msg, entry.sdef.type_id, values,
+                                    force_mode=force_mode)
+            except _TRANSIENT as exc:
+                last_error = exc
+                self._drop_route(target)
+                new_target = self._address_fault(target, exc)
+                if new_target != target:
+                    # The module relocated: that recovery is accounted
+                    # as a relocation-follow, not a circuit repair.
+                    self._faulted_targets.discard(target)
+                target = new_target
+                continue
+            self._ns_fault_streak = 0
+            if target in self._faulted_targets:
+                # An established circuit to this target had faulted and
+                # this send went through on a re-planned route: one
+                # completed repair (PROTOCOL.md §10).
+                self._faulted_targets.discard(target)
+                nucleus.counters.incr("lcm_circuit_repairs")
+            return target
+        raise DestinationUnavailable(
+            f"send to {dst} failed after {self.MAX_SEND_ATTEMPTS} attempts: "
+            f"{last_error}"
+        )
+
+    def _repair_backoff(self, round_no: int, dst: Address,
+                        exc: Exception) -> None:
+        """Between repair rounds: count the round, wait the bounded
+        exponential backoff (round k waits ``min(base * 2**k, cap)``
+        plus jitter from the module's seeded repair RNG), and reset the
+        Sec. 6.3 well-known retry budget so the next round gets a fresh
+        look at the naming service."""
+        nucleus = self.nucleus
+        cfg = nucleus.config
+        nucleus.counters.incr("lcm_circuit_repairs")
+        nucleus.counters.incr(f"repair_backoff_bucket_{min(round_no - 1, 7)}")
+        nucleus.trace(self.LAYER, "circuit_repair",
+                      reason=f"round {round_no} for {dst}: {exc}")
+        self._ns_fault_streak = 0
+        base = min(cfg.repair_backoff_base * (2 ** (round_no - 1)),
+                   cfg.repair_backoff_cap)
+        jitter = nucleus.repair_rng.random() * cfg.repair_backoff_base
+        nucleus.scheduler.wait(base + jitter)
 
     def call(
         self,
@@ -198,8 +289,12 @@ class LcmLayer:
         timeout = timeout if timeout is not None else nucleus.config.call_timeout
         attempts = 1 + max(0, nucleus.config.call_retries)
         last_error = ""
+        # One logical call keeps one correlation id across retries: the
+        # receive side dedups requests on (src, corr_id), so a request
+        # redelivered by a retry is suppressed — and its cached reply
+        # replayed — instead of running the server handler twice.
+        corr = self._corr.next()
         for _ in range(attempts):
-            corr = self._corr.next()
             pending = _PendingCall(dst=dst)
             self._pending[corr] = pending
             try:
@@ -239,7 +334,14 @@ class LcmLayer:
 
     def reply(self, request: IncomingMessage, type_name: str, values: dict,
               flags: int = 0) -> None:
-        """Answer a request received with reply_expected set."""
+        """Answer a request received with reply_expected set.  The reply
+        is remembered against the request's (src, corr_id), so a
+        redelivered request — a repair-round retry whose original *did*
+        arrive — replays the same answer instead of re-running the
+        server handler."""
+        key = (request.src, request.corr_id)
+        if key in self._served:
+            self._served[key] = (type_name, dict(values), flags)
         self.send(request.src, type_name, values,
                   flags=flags | m.FLAG_IS_REPLY, corr_id=request.corr_id)
 
@@ -294,19 +396,26 @@ class LcmLayer:
             self.nucleus.counters.incr("lcm_forwarding_compressions")
         return target
 
-    def _route_to(self, target: Address) -> Ivc:
+    def _route_to(self, target: Address, repairing: bool = False) -> Ivc:
         ivc = self._routes.get(target)
         if ivc is not None and ivc.open:
             return ivc
         self._routes.pop(target, None)
-        ivc = self.ip.open_ivc(target, reason="lcm send")
+        if repairing:
+            self.nucleus.counters.incr("ivc_reopen_attempts")
+        ivc = self.ip.open_ivc(
+            target, reason="lcm repair" if repairing else "lcm send")
         self._routes[target] = ivc
         return ivc
 
     def _drop_route(self, target: Address) -> None:
         ivc = self._routes.pop(target, None)
-        if ivc is not None and ivc.state not in ("CLOSED", "FAILED"):
-            self.ip.close(ivc, "dropped after fault", notify=False)
+        if ivc is not None:
+            # An established circuit (not a first-open failure) is being
+            # dropped after a fault: the next send through marks a repair.
+            self._faulted_targets.add(target)
+            if ivc.state not in ("CLOSED", "FAILED"):
+                self.ip.close(ivc, "dropped after fault", notify=False)
 
     def _address_fault(self, target: Address, exc: Exception) -> Address:
         """The Sec. 3.5 address-fault handler: look for a forwarding
@@ -402,6 +511,34 @@ class LcmLayer:
             else:
                 nucleus.counters.incr("lcm_orphan_replies")
             return
+        if (msg.reply_expected and msg.corr_id > 0
+                and not msg.connectionless and not msg.internal
+                and effective_src is not None):
+            # Duplicate suppression (PROTOCOL.md §10): a repair-round
+            # retry may redeliver a request whose original arrived just
+            # before the circuit died.  Accept each (src, corr_id) once;
+            # replay the cached reply when one was already produced.
+            # Internal (naming/forwarding) traffic is exempt: those
+            # requests are idempotent at the server, and a multi-homed
+            # gateway runs one nucleus per attached network — several
+            # independent corr_id streams behind one registered address
+            # — so (src, corr_id) is only a sound key for application
+            # requests, where one module is one nucleus.
+            key = (effective_src, msg.corr_id)
+            if key in self._served:
+                nucleus.counters.incr("lcm_duplicate_requests_suppressed")
+                cached = self._served[key]
+                if cached is not None:
+                    r_type, r_values, r_flags = cached
+                    self.send(effective_src, r_type, r_values,
+                              flags=r_flags | m.FLAG_IS_REPLY,
+                              corr_id=msg.corr_id)
+                return
+            self._served[key] = None
+            self._served_order.append(key)
+            while len(self._served_order) > self.SERVED_LIMIT:
+                evicted = self._served_order.popleft()
+                self._served.pop(evicted, None)
         with nucleus.enter(self.LAYER, "deliver", caller="IP",
                            reason=entry.sdef.name):
             if self._handler is not None:
@@ -414,6 +551,7 @@ class LcmLayer:
         dead = [addr for addr, route in self._routes.items() if route is ivc]
         for addr in dead:
             del self._routes[addr]
+        self._faulted_targets.update(dead)
         for pending in self._pending.values():
             if pending.done:
                 continue
@@ -431,8 +569,15 @@ class LcmLayer:
         ivc = self._routes.pop(old, None)
         if ivc is not None:
             self._routes[new] = ivc
+        if old in self._faulted_targets:
+            self._faulted_targets.discard(old)
+            self._faulted_targets.add(new)
         if old in self.forwarding:
             self.forwarding[new] = self.forwarding.pop(old)
+        for key in [k for k in self._served if k[0] == old]:
+            new_key = (new, key[1])
+            self._served[new_key] = self._served.pop(key)
+            self._served_order.append(new_key)
 
     # -- introspection ----------------------------------------------------
 

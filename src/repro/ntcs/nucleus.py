@@ -28,6 +28,7 @@ from repro.ntcs.address import Address, AddressCache, TAddAllocator
 from repro.ntcs.drivers import make_driver
 from repro.ntcs.wellknown import WellKnownTable
 from repro.util.counters import CounterSet
+from repro.util.seeds import derive_rng
 from repro.util.trace import LayerTracer, NullTracer
 
 
@@ -51,6 +52,17 @@ class NucleusConfig:
             the uncached control plane message-for-message.
         nsp_negative_ttl: virtual seconds a cached negative resolution
             (no such name / address / forwarding) stays valid.
+        repair_max_attempts: circuit-repair rounds the LCM send path
+            runs after its per-round relocation attempts exhaust
+            (PROTOCOL.md §10).  0 disables repair entirely, reproducing
+            the pre-repair fault behavior message for message.
+        repair_backoff_base / repair_backoff_cap: exponential-backoff
+            schedule between repair rounds — round k waits
+            ``min(base * 2**k, cap)`` virtual seconds plus seeded
+            jitter.
+        chaos_seed: base seed for the per-module repair-jitter RNG
+            (derived per process and network, so every module draws an
+            independent but reproducible stream).
         trace: record layer entry/exit (Sec. 6.2 debugging support).
     """
 
@@ -64,6 +76,10 @@ class NucleusConfig:
     call_retries: int = 2
     nsp_cache_enabled: bool = True
     nsp_negative_ttl: float = 2.0
+    repair_max_attempts: int = 4
+    repair_backoff_base: float = 0.05
+    repair_backoff_cap: float = 2.0
+    chaos_seed: int = 0
     trace: bool = False
 
 
@@ -88,6 +104,13 @@ class Nucleus:
         self.mtype: MachineType = self.machine.mtype
 
         self.tadds = TAddAllocator()
+        # Repair-jitter stream (PROTOCOL.md §10): derived — not hashed —
+        # from the chaos seed and this module's identity, so two runs
+        # with the same seed draw identical backoff jitter while
+        # distinct modules never share a stream.
+        self.repair_rng = derive_rng(
+            self.config.chaos_seed, process.name, network_name,
+        )
         # "Each module assigns itself one initially" (Sec. 3.4).
         self.self_addr: Address = self.tadds.allocate()
         self._past_addrs: Set[Address] = set()

@@ -28,7 +28,8 @@ from repro.errors import SimulationError
 from repro.ipcs import SimMbxIpcs, SimTcpIpcs
 from repro.machine import Machine, MachineType, SimProcess
 from repro.naming import NameServer, NspLayer, register_naming_types
-from repro.netsim import Network, Scheduler
+from repro.netsim import ChaosEngine, ChaosSchedule, Network, Scheduler
+from repro.ntcs.address import blob_network
 from repro.ntcs.gateway import Gateway
 from repro.ntcs.nucleus import NucleusConfig
 from repro.ntcs.protocol import register_nucleus_types
@@ -176,6 +177,99 @@ class Testbed:
             commod.ali.register(name, attrs=attrs)
         self.modules[name] = commod
         return commod
+
+    # -- crash recovery (PROTOCOL.md §10) ------------------------------------
+
+    @staticmethod
+    def _binding_from_blob(blob: str) -> str:
+        """Recover the listening binding (TCP port / MBX pathname) from
+        a previously published address blob."""
+        if blob.startswith("tcp:"):
+            return str(SimTcpIpcs.parse_blob(blob)[2])
+        if blob.startswith("mbx:"):
+            return SimMbxIpcs.parse_blob(blob)[2]
+        raise SimulationError(f"cannot recover a binding from blob {blob!r}")
+
+    def revive_machine(self, name: str) -> Machine:
+        """Bring a crashed machine's interfaces back up.  Its old
+        processes stay dead — restart components explicitly, or let
+        :meth:`chaos` do it."""
+        machine = self.machines[name]
+        machine.revive()
+        return machine
+
+    def restart_gateway(self, machine_name: str) -> Gateway:
+        """Restart a crashed gateway on the same machine with the *same*
+        listening bindings — well-known prime blobs and peers' cached
+        routes stay valid — and re-register it under the same name, so
+        the fresh record supersedes the dead one in route planning."""
+        old = self.gateways[machine_name]
+        machine = self.revive_machine(machine_name)
+        bindings = {
+            network: self._binding_from_blob(nucleus.nd.listen_blob)
+            for network, nucleus in old.stacks.items()
+            if nucleus.nd.listen_blob
+        }
+        process = SimProcess(machine, f"gw.{machine_name}")
+        gateway = Gateway(process, self.registry, self.wellknown,
+                          config=replace(self.config), bindings=bindings)
+        gateway.attach_nsp(lambda nucleus: NspLayer(nucleus))
+        gateway.register()
+        self.gateways[machine_name] = gateway
+        return gateway
+
+    def restart_name_server(self) -> NameServer:
+        """Restart the Name Server on its machine with the surviving
+        database and the same well-known binding.  The restart guard in
+        :class:`~repro.naming.server.NameServer` reuses the original
+        UAdd, so every module's well-known table stays valid."""
+        old = self.name_server_instance
+        if old is None:
+            raise SimulationError("this testbed has no Name Server to restart")
+        machine = old.process.machine
+        machine.revive()
+        network = blob_network(old.listen_blob)
+        protocol = self.networks[network].protocol
+        process = SimProcess(machine, old.process.name)
+        server = type(old)(
+            process, self.registry, self.wellknown,
+            network=network, binding=_NS_BINDINGS[protocol],
+            config=replace(self.config), db=old.db, name=old.name,
+        )
+        if hasattr(old, "peer_uadds") and hasattr(server, "set_peers"):
+            server.set_peers(list(old.peer_uadds))
+        self.name_server_instance = server
+        return server
+
+    def chaos(self, schedule: ChaosSchedule) -> ChaosEngine:
+        """Install a :class:`~repro.netsim.chaos.ChaosSchedule` onto
+        this deployment: every machine becomes a crash/restart target
+        (restart revives the machine and restarts whatever gateway or
+        Name Server it hosted) and every network accepts link ops."""
+        engine = ChaosEngine(self.scheduler, schedule)
+        for name, network in self.networks.items():
+            engine.register_network(name, network)
+        for name, machine in self.machines.items():
+            engine.register_target(
+                name, crash=machine.crash, restart=self._restarter(name))
+        engine.install()
+        return engine
+
+    def _restarter(self, machine_name: str):
+        """A restart callable for :meth:`chaos`: revive the machine and
+        relaunch the system components it hosted.  Restarting a machine
+        that is already up is a no-op, so overlapping crash/restart
+        windows in a random schedule cannot double-bind listen ports."""
+        def restart() -> None:
+            if self.machines[machine_name].alive:
+                return
+            self.revive_machine(machine_name)
+            if machine_name in self.gateways:
+                self.restart_gateway(machine_name)
+            ns = self.name_server_instance
+            if ns is not None and ns.process.machine.name == machine_name:
+                self.restart_name_server()
+        return restart
 
     # -- running -------------------------------------------------------------
 

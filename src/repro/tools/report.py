@@ -144,6 +144,51 @@ def naming_lines(results_dir: Optional[str] = None) -> List[str]:
     return lines
 
 
+def _recovery_path(results_dir: Optional[str] = None) -> str:
+    # BENCH_recovery.json sits next to the other bench JSONs at the
+    # repo root, written by the same microbench run.
+    return os.path.join(os.path.dirname(_pipeline_path(results_dir)),
+                        "BENCH_recovery.json")
+
+
+def recovery_lines(results_dir: Optional[str] = None) -> List[str]:
+    """The circuit-repair / crash-recovery table as markdown lines
+    (empty when BENCH_recovery.json is absent or unreadable)."""
+    path = _recovery_path(results_dir)
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(rows, list) or not rows:
+        return []
+    lines = [
+        "## Crash recovery and circuit repair (benchmarks/microbench.py)",
+        "",
+        "From `BENCH_recovery.json` — the PROTOCOL.md §10 chaos run: a "
+        "mid-chain gateway of the E5 3-gateway internet is crashed and "
+        "restarted under a seeded fault schedule, and the conversation "
+        "completes through circuit repair.  Repairs, reopen attempts, "
+        "Name-Server failovers, and the bounded-backoff histogram are "
+        "read straight off the run's counters.  Regenerate with "
+        "`python benchmarks/microbench.py`.",
+        "",
+        "| bench | metric | value | unit |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        lines.append(
+            "| {bench} | {metric} | {value} | {unit} |".format(
+                bench=row.get("bench", "?"), metric=row.get("metric", "?"),
+                value=row.get("value", "?"), unit=row.get("unit", "?"),
+            )
+        )
+    lines.append("")
+    return lines
+
+
 def compose_report(results_dir: Optional[str] = None,
                    now: Optional[str] = None) -> str:
     """The full markdown report as a string."""
@@ -177,6 +222,7 @@ def compose_report(results_dir: Optional[str] = None,
             lines.append("")
     lines.extend(pipeline_lines(results_dir))
     lines.extend(naming_lines(results_dir))
+    lines.extend(recovery_lines(results_dir))
     missing = [exp_id for _, exp_id, _ in _EXPERIMENTS
                if exp_id not in seen]
     if missing:

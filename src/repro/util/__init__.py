@@ -4,6 +4,7 @@ and counters used by the experiments."""
 from repro.util.idgen import SequenceGenerator
 from repro.util.trace import LayerTracer, TraceRecord, NullTracer
 from repro.util.counters import CounterSet
+from repro.util.seeds import derive_seed, derive_rng
 
 __all__ = [
     "SequenceGenerator",
@@ -11,4 +12,6 @@ __all__ = [
     "TraceRecord",
     "NullTracer",
     "CounterSet",
+    "derive_seed",
+    "derive_rng",
 ]

@@ -1,0 +1,34 @@
+"""Deterministic seed derivation for per-component RNG streams.
+
+Every random stream in the simulation must be (a) explicitly seeded and
+(b) *stable across runs and interpreter invocations*.  Deriving a
+per-component seed with the builtin ``hash()`` would silently violate
+(b): string hashing is salted by ``PYTHONHASHSEED``.  This module
+derives seeds with CRC-32 instead — cheap, stable, and order-sensitive
+in its labels — so a base seed plus a component path ("gw.gwm1",
+"net1") always names the same stream.
+
+The chaos harness and the LCM circuit-repair path (PROTOCOL.md §10)
+draw their jitter from streams created here; ntcslint's DET005 rule
+forbids those modules from constructing ``random.Random`` directly so
+that every stream is derived, never ad hoc.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def derive_seed(base: int, *labels: str) -> int:
+    """A deterministic 32-bit seed from a base seed and label path."""
+    acc = zlib.crc32(str(int(base)).encode("ascii"))
+    for label in labels:
+        acc = zlib.crc32(str(label).encode("utf-8"), acc)
+    return acc & 0xFFFFFFFF
+
+
+def derive_rng(base: int, *labels: str) -> random.Random:
+    """A seeded :class:`random.Random` on the derived stream — the
+    sanctioned factory for chaos/repair randomness (DET005)."""
+    return random.Random(derive_seed(base, *labels))

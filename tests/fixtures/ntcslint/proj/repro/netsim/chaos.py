@@ -1,0 +1,12 @@
+"""Seeded DET005 violation: a chaos/repair module (this file's module
+name is ``repro.netsim.chaos``, one of the restricted set) constructing
+``random.Random`` directly.  Even a *seeded* construction is banned
+here — streams must come from ``repro.util.seeds.derive_rng`` so a
+chaos schedule replays bit-identically from its seed alone."""
+
+import random
+
+
+def jitter(seed):
+    """Seeded, but still DET005: the seed is not derived via derive_rng."""
+    return random.Random(7).random() + seed        # line 12: DET005

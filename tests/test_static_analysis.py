@@ -141,6 +141,25 @@ def test_seeded_random_is_sanctioned():
     assert all(f.line <= 14 for f in findings)
 
 
+def test_repair_module_seeded_random_fires_det005():
+    # The fixture's module name is repro.netsim.chaos — one of the
+    # restricted chaos/repair modules — so even a *seeded*
+    # random.Random(7) fires DET005 (the stream must come from
+    # repro.util.seeds.derive_rng).
+    findings = fixture_findings("netsim/chaos")
+    assert rule_lines(findings) == [("DET005", 12)]
+    assert "derive_rng" in findings[0].message
+
+
+def test_live_repair_modules_carry_no_direct_rng():
+    # The real chaos harness and repair paths must stay DET005-clean.
+    for rel in ("netsim/chaos.py", "ntcs/lcm.py",
+                "ntcs/iplayer.py", "ntcs/gateway.py"):
+        findings = [f for f in analyze([SRC_TREE / rel])
+                    if f.rule == "DET005"]
+        assert findings == [], rel
+
+
 def test_realnet_is_exempt_from_determinism():
     # The real-socket substrate legitimately reads the wall clock.
     findings = [f for f in analyze([SRC_TREE / "realnet"])
@@ -203,7 +222,7 @@ def test_cli_json_format_is_machine_readable(capsys):
     records = json.loads(capsys.readouterr().out)
     assert {r["rule"] for r in records} >= {
         "LAY001", "LAY002", "PRO001", "PRO002", "PRO003", "PRO004",
-        "DET001", "DET002", "DET003", "DET004",
+        "DET001", "DET002", "DET003", "DET004", "DET005",
         "EXC001", "EXC002", "EXC003",
     }
     sample = records[0]
