@@ -9,23 +9,36 @@ resolve to ``repro.*`` names without being imported).
 Rules are small objects registered with :func:`rule`; each inspects the
 whole project and yields :class:`Finding` records (file, line, rule id,
 severity, message).  The engine applies inline waivers afterwards: a
-finding is suppressed when the source line it points at carries a
-``# ntcslint: allow=RULE_ID`` (or ``allow=all``) pragma, so intentional
-exceptions stay visible — and justified — in the code itself.
+finding is suppressed when the source line it points at — or any line
+of the smallest enclosing statement, so pragmas work on multi-line
+calls — carries a ``# ntcslint: allow=RULE_ID`` (or ``allow=all``)
+pragma, so intentional exceptions stay visible — and justified — in
+the code itself.  Waivers are collected, not discarded: the CLI's
+``--list-waivers`` prints each one with its justification text, and
+``--max-waivers`` ratchets the total against a committed baseline.
+A pragma naming a rule id the engine does not know is itself reported
+(WVR001) instead of silently suppressing nothing.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
 _PRAGMA_RE = re.compile(r"#\s*ntcslint:\s*allow=([A-Za-z0-9_,\s]+|all)")
+
+# Stripped off the front of a pragma's trailing justification text.
+_JUSTIFICATION_LEAD = " \t-—–:;"
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,31 @@ class Finding:
         return f"{self.path}:{self.line}: {self.rule} [{self.severity}] {self.message}"
 
 
+@dataclass(frozen=True)
+class Waiver:
+    """One finding suppressed by an inline ``ntcslint: allow`` pragma."""
+
+    finding: Finding       # the finding the pragma suppressed
+    pragma_line: int       # line carrying the pragma (may differ from
+                           # finding.line on multi-line statements)
+    justification: str     # comment text following the allow list
+
+    def render(self) -> str:
+        """One-line form: path:line: RULE waived — justification."""
+        why = self.justification or "(no justification)"
+        return (f"{self.finding.path}:{self.finding.line}: "
+                f"{self.finding.rule} waived — {why}")
+
+
+@dataclass(frozen=True)
+class _Pragma:
+    """One parsed ``ntcslint: allow`` pragma occurrence."""
+
+    line: int
+    allowed: frozenset       # rule ids, possibly containing "all"
+    justification: str
+
+
 @dataclass
 class ModuleInfo:
     """One parsed source module."""
@@ -78,6 +116,25 @@ class ImportEdge:
     symbol: Optional[str] = None   # for `from X import y`: the name y
 
 
+def iter_python_files(paths: Iterable[Path],
+                      exclude: Sequence[str] = ()) -> List[Path]:
+    """Every ``.py`` file a scan of ``paths`` would parse, in stable
+    order, minus files whose posix path contains an ``exclude`` token.
+    Shared between :meth:`Project.load` and the result cache's content
+    manifest so the two can never disagree about the file set."""
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    if exclude:
+        files = [f for f in files
+                 if not any(tok in f.as_posix() for tok in exclude)]
+    return files
+
+
 def module_name_for(path: Path) -> str:
     """Dotted module name for a file, anchored at its last ``repro``
     path component; stand-alone files fall back to their stem."""
@@ -97,17 +154,17 @@ class Project:
     def __init__(self, modules: Sequence[ModuleInfo]):
         self.modules: List[ModuleInfo] = sorted(modules, key=lambda m: str(m.path))
         self.by_name: Dict[str, ModuleInfo] = {m.name: m for m in self.modules}
+        self._pragma_cache: Dict[str, List[_Pragma]] = {}
+        self._span_cache: Dict[str, List[Tuple[int, int]]] = {}
 
     @classmethod
-    def load(cls, paths: Iterable[Path]) -> "Project":
-        """Parse every ``.py`` file in the given files/directories."""
-        files: List[Path] = []
-        for path in paths:
-            path = Path(path)
-            if path.is_dir():
-                files.extend(sorted(path.rglob("*.py")))
-            elif path.suffix == ".py":
-                files.append(path)
+    def load(cls, paths: Iterable[Path],
+             exclude: Sequence[str] = ()) -> "Project":
+        """Parse every ``.py`` file in the given files/directories.
+        ``exclude`` entries are path substrings (posix form); matching
+        files are skipped — how CI scans ``tests/`` while leaving the
+        deliberately-violating fixture trees alone."""
+        files = iter_python_files(paths, exclude=exclude)
         modules = []
         for fpath in files:
             source = fpath.read_text(encoding="utf-8")
@@ -162,17 +219,99 @@ class Project:
 
     # -- waivers -------------------------------------------------------------
 
-    def is_waived(self, finding: Finding) -> bool:
-        """True when the finding's source line carries a matching
-        ``# ntcslint: allow=RULE_ID`` (or ``allow=all``) pragma."""
+    def _pragmas(self, module: ModuleInfo) -> List[_Pragma]:
+        """Every ``ntcslint: allow`` pragma in the module, parsed once."""
+        cached = self._pragma_cache.get(module.name)
+        if cached is not None:
+            return cached
+        pragmas: List[_Pragma] = []
+        # Scan actual COMMENT tokens, not raw lines: a pragma quoted
+        # inside a docstring (e.g. this engine's own documentation)
+        # must not register as a live waiver.
+        source = "\n".join(module.source_lines) + "\n"
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            tokens = []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if not match:
+                continue
+            allowed = frozenset(
+                tok.strip() for tok in match.group(1).split(",")
+                if tok.strip()
+            )
+            justification = (token.string[match.end():]
+                             .strip(_JUSTIFICATION_LEAD).strip())
+            pragmas.append(_Pragma(line=token.start[0], allowed=allowed,
+                                   justification=justification))
+        self._pragma_cache[module.name] = pragmas
+        return pragmas
+
+    def _stmt_span(self, module: ModuleInfo, line: int) -> Tuple[int, int]:
+        """The line range of the smallest statement containing ``line``
+        (so a pragma on any physical line of a multi-line statement
+        covers findings anywhere in it)."""
+        spans = self._span_cache.get(module.name)
+        if spans is None:
+            spans = [
+                (node.lineno, getattr(node, "end_lineno", node.lineno))
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.stmt)
+            ]
+            self._span_cache[module.name] = spans
+        best = (line, line)
+        best_size = None
+        for lo, hi in spans:
+            if lo <= line <= hi:
+                size = hi - lo
+                if best_size is None or size < best_size:
+                    best, best_size = (lo, hi), size
+        return best
+
+    def waiver_for(self, finding: Finding) -> Optional[Waiver]:
+        """The :class:`Waiver` suppressing this finding, or None.  A
+        pragma matches when it names the finding's rule (or ``all``)
+        and sits on the finding's line or any line of the smallest
+        statement enclosing it."""
         module = next((m for m in self.modules if str(m.path) == finding.path), None)
         if module is None:
-            return False
-        match = _PRAGMA_RE.search(module.line(finding.line))
-        if not match:
-            return False
-        allowed = {tok.strip() for tok in match.group(1).split(",")}
-        return "all" in allowed or finding.rule in allowed
+            return None
+        pragmas = self._pragmas(module)
+        if not pragmas:
+            return None
+        lo, hi = self._stmt_span(module, finding.line)
+        for pragma in pragmas:
+            if not (pragma.line == finding.line or lo <= pragma.line <= hi):
+                continue
+            if "all" in pragma.allowed or finding.rule in pragma.allowed:
+                return Waiver(finding=finding, pragma_line=pragma.line,
+                              justification=pragma.justification)
+        return None
+
+    def is_waived(self, finding: Finding) -> bool:
+        """True when a matching ``ntcslint: allow`` pragma suppresses
+        the finding (see :meth:`waiver_for`)."""
+        return self.waiver_for(finding) is not None
+
+    def unknown_pragma_findings(self, known_ids: Iterable[str]) -> List[Finding]:
+        """WVR001 warnings for pragma tokens naming no known rule id —
+        a typo'd waiver must not silently suppress nothing."""
+        known = set(known_ids) | {"all"}
+        findings: List[Finding] = []
+        for module in self.modules:
+            for pragma in self._pragmas(module):
+                for token in sorted(pragma.allowed - known):
+                    findings.append(Finding(
+                        rule="WVR001", severity=SEVERITY_WARNING,
+                        path=str(module.path), line=pragma.line,
+                        message=(f"waiver pragma names unknown rule id "
+                                 f"{token!r}; it suppresses nothing "
+                                 f"(see --list-rules)"),
+                    ))
+        return findings
 
 
 # ---------------------------------------------------------------------------
@@ -208,11 +347,15 @@ def all_rules() -> List[Rule]:
     return list(_RULES)
 
 
-def run_rules(project: Project,
-              rule_filter: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Run (a filtered subset of) the rule set; returns surviving
-    findings sorted by location.  ``rule_filter`` entries match rule ids
-    by prefix ("LAY" selects LAY001, LAY002, ...) or family name."""
+def run_rules_with_waivers(
+    project: Project,
+    rule_filter: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], List[Waiver]]:
+    """Run (a filtered subset of) the rule set; returns the surviving
+    findings sorted by location plus every waiver that suppressed one.
+    ``rule_filter`` entries match rule ids by prefix ("LAY" selects
+    LAY001, LAY002, ...) or family name.  With no filter, pragmas that
+    name unknown rule ids are reported as WVR001 warnings."""
     findings: List[Finding] = []
     for rule_obj in all_rules():
         if rule_filter and not _selected(rule_obj, rule_filter):
@@ -222,8 +365,27 @@ def run_rules(project: Project,
         findings = [f for f in findings
                     if any(f.rule.startswith(tok.upper()) for tok in rule_filter)
                     or _family_selected(f, rule_filter)]
-    findings = [f for f in findings if not project.is_waived(f)]
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    else:
+        known_ids = [rid for rule_obj in all_rules() for rid in rule_obj.ids]
+        findings.extend(project.unknown_pragma_findings(known_ids))
+    kept: List[Finding] = []
+    waivers: List[Waiver] = []
+    for finding in findings:
+        waiver = project.waiver_for(finding)
+        if waiver is None:
+            kept.append(finding)
+        else:
+            waivers.append(waiver)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    waivers.sort(key=lambda w: (w.finding.path, w.finding.line, w.finding.rule))
+    return kept, waivers
+
+
+def run_rules(project: Project,
+              rule_filter: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the rule set; returns surviving findings sorted by location
+    (:func:`run_rules_with_waivers` without the waiver list)."""
+    findings, _ = run_rules_with_waivers(project, rule_filter=rule_filter)
     return findings
 
 
@@ -245,6 +407,8 @@ def _family_selected(finding: Finding, tokens: Sequence[str]) -> bool:
 
 
 def analyze(paths: Iterable[Path],
-            rule_filter: Optional[Sequence[str]] = None) -> List[Finding]:
+            rule_filter: Optional[Sequence[str]] = None,
+            exclude: Sequence[str] = ()) -> List[Finding]:
     """Parse the given paths and run the rule set over them."""
-    return run_rules(Project.load(paths), rule_filter=rule_filter)
+    return run_rules(Project.load(paths, exclude=exclude),
+                     rule_filter=rule_filter)

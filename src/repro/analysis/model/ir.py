@@ -1,0 +1,138 @@
+"""Intermediate representation for ntcsverify (the model stage).
+
+The extractor (:mod:`repro.analysis.model.extractor`) populates a
+:class:`ProtocolModel` from the parsed project; the checker
+(:mod:`repro.analysis.model.checker`) runs the MDL rules over it; the
+trace checker (:mod:`repro.analysis.model.tracecheck`) replays netsim
+JSONL traces against the extracted wire protocol.
+
+Three layers of fact live here:
+
+* **messages** — every ``StructDef`` defined under the ``repro``
+  package, joined with every *send site* (``call``/``send``/
+  ``datagram``/``reply``/``pack_internal``/NSP ``_call``) and every
+  *handler site* (``unpack_internal``, ``type_name`` comparisons,
+  dispatch-dict keys, ``@handles`` annotations, kind dispatch);
+* **machines** — declarative ``PROTOCOL_MACHINE`` literals in the
+  source, cross-validated against the ``.state`` strings the same
+  module actually assigns (the extraction proof);
+* **wire** — the ``WIRE_PROTOCOL`` declaration next to the kind table
+  in :mod:`repro.ntcs.message`: per-kind *requires*/*establishes*
+  handshake flags, the model that chaos traces are replayed against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+# Send-site classification (Site.kind for sends).
+SEND_REQUEST = "request"      # call / call_async / NSP _call / _resolve
+SEND_PLAIN = "send"           # lcm/ali send
+SEND_DATAGRAM = "datagram"    # one-way, no reply expected
+SEND_REPLY = "reply"          # reply() / handler-return tuple
+SEND_INTERNAL = "internal"    # pack_internal control body
+
+
+@dataclass(frozen=True)
+class Site:
+    """One source location where a message is sent or handled."""
+
+    module: str       # dotted module name
+    path: str         # file path
+    line: int
+    kind: str         # send classification, or "handler" / "expect"
+
+
+@dataclass
+class MessageSpec:
+    """One wire message: its StructDef plus every use site."""
+
+    name: str
+    type_id: Optional[int]
+    module: str
+    path: str
+    line: int
+    sends: List[Site] = field(default_factory=list)
+    handlers: List[Site] = field(default_factory=list)
+    expects: List[Site] = field(default_factory=list)   # reply consumption
+
+    @property
+    def is_request(self) -> bool:
+        return any(s.kind == SEND_REQUEST for s in self.sends)
+
+    @property
+    def is_reply(self) -> bool:
+        return (any(s.kind == SEND_REPLY for s in self.sends)
+                or bool(self.expects))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One transition of a declared protocol machine."""
+
+    event: str                    # "recv X" / "send X" / "timeout t" / "local op"
+    next: str
+    bounded: Optional[str] = None  # names the budget bounding a retry loop
+    progress: bool = False         # the loop does useful application work
+    queue: Optional[str] = None    # "+q" (enqueue) or "-q" (drain)
+
+    @property
+    def is_timeout(self) -> bool:
+        return self.event.startswith("timeout")
+
+
+@dataclass
+class Machine:
+    """One declared per-module protocol state machine."""
+
+    name: str
+    module: str
+    path: str
+    line: int
+    initial: str
+    terminal: Tuple[str, ...]
+    states: Dict[str, dict] = field(default_factory=dict)  # name -> raw decl
+    edges: Dict[str, List[Edge]] = field(default_factory=dict)
+    waits: Set[str] = field(default_factory=set)
+    anchor: bool = False  # states must match the module's .state strings
+
+
+@dataclass
+class WireProtocol:
+    """The declared wire handshake model from ``repro.ntcs.message``."""
+
+    module: str
+    path: str
+    line: int
+    kind_names: Dict[int, str]              # numeric kind -> "IVC_OPEN" ...
+    requires: Dict[str, Tuple[str, ...]]    # kind name -> needed flags
+    establishes: Dict[str, Tuple[str, ...]]  # kind name -> flags it sets
+
+
+@dataclass
+class ProtocolModel:
+    """Everything the MDL rules and the trace checker consume."""
+
+    messages: Dict[str, MessageSpec] = field(default_factory=dict)
+    machines: List[Machine] = field(default_factory=list)
+    wires: List[WireProtocol] = field(default_factory=list)
+    # Modules defining KIND_NAMES (used to demand a WIRE_PROTOCOL).
+    kind_table_modules: List[Tuple[str, str, int]] = field(default_factory=list)
+    # module name -> .state strings observed in assignments/comparisons
+    state_strings: Dict[str, Set[str]] = field(default_factory=dict)
+    # declaration parse problems: (module, path, line, message)
+    errors: List[Tuple[str, str, int, str]] = field(default_factory=list)
+
+    def by_type_id(self) -> Dict[int, MessageSpec]:
+        """The message table keyed by wire type id (typed specs only)."""
+        return {m.type_id: m for m in self.messages.values()
+                if m.type_id is not None}
+
+    def primary_wire(self) -> Optional[WireProtocol]:
+        """The wire model traces replay against: the declaration in
+        ``repro.ntcs.message``, or the only one present."""
+        for wire in self.wires:
+            if wire.module == "repro.ntcs.message":
+                return wire
+        return self.wires[0] if self.wires else None

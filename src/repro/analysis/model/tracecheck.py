@@ -1,0 +1,128 @@
+"""Replay netsim JSONL wire traces against the extracted wire model.
+
+A trace is the output of :class:`repro.netsim.tracelog.NetTraceLog` —
+one JSON object per transmitted datagram, carrying every raw byte blob
+of the payload as hex.  The netsim records bytes without knowing what
+they are; *this* module (analysis is harness-layer, so it may import
+NTCS) picks out the blobs that carry NTCS magic, reads their header
+words through :class:`repro.ntcs.message.HeaderView`, and checks each
+frame's kind against the ``WIRE_PROTOCOL`` declaration the extractor
+pulled from :mod:`repro.ntcs.message`:
+
+* per network and unordered host pair, handshake flags are monotonic:
+  a kind *establishes* its flags when transmitted (transmit-side
+  conformance — a dropped frame still proves the sender believed the
+  handshake allowed it, which keeps replay robust under chaos drops
+  and crash-restart re-handshakes);
+* TRC001 (error) a frame whose kind *requires* a flag not yet
+  established on that hop — a transition outside the model;
+* TRC002 (error) a frame whose kind is not in the model at all, or a
+  trace line that cannot be parsed.
+
+Exit-code semantics are the CLI's: any finding fails the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, SEVERITY_ERROR
+from repro.analysis.model.ir import ProtocolModel, WireProtocol
+from repro.ntcs.message import HEADER_BYTES, HeaderView
+from repro.errors import ProtocolError
+
+_HopKey = Tuple[str, FrozenSet[str]]
+
+
+def _finding(rule: str, path: str, line: int, message: str) -> Finding:
+    return Finding(rule=rule, severity=SEVERITY_ERROR,
+                   path=path, line=line, message=message)
+
+
+def _looks_like_frame(blob: bytes) -> bool:
+    """True when a payload blob starts with the NTCS magic word — the
+    filter that separates NTCS frames from transport noise (TCP stream
+    continuation segments, mailbox records, app payloads)."""
+    if len(blob) < HEADER_BYTES:
+        return False
+    try:
+        HeaderView(blob)
+    except ProtocolError:
+        return False
+    return True
+
+
+def check_trace(path: str, model: ProtocolModel) -> List[Finding]:
+    """Replay one JSONL trace file against the model's wire protocol."""
+    wire = model.primary_wire()
+    if wire is None:
+        return [_finding(
+            "TRC002", path, 1,
+            "no WIRE_PROTOCOL declaration was extracted from the tree — "
+            "traces cannot be conformance-checked")]
+    findings: List[Finding] = []
+    flags_by_hop: Dict[_HopKey, Set[str]] = {}
+    for lineno, raw in enumerate(
+            Path(path).read_text().splitlines(), start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            event = json.loads(raw)
+        except ValueError:
+            findings.append(_finding(
+                "TRC002", path, lineno, "unparseable trace line"))
+            continue
+        if event.get("op") != "frame":
+            continue
+        args = event.get("args", {})
+        hop: _HopKey = (
+            str(event.get("target", "")),
+            frozenset((str(args.get("src", "")), str(args.get("dst", "")))),
+        )
+        flags = flags_by_hop.setdefault(hop, set())
+        for blob_hex in args.get("frames", ()):
+            try:
+                blob = bytes.fromhex(blob_hex)
+            except ValueError:
+                findings.append(_finding(
+                    "TRC002", path, lineno, "frame hex is malformed"))
+                continue
+            if not _looks_like_frame(blob):
+                continue
+            findings.extend(
+                _check_frame(wire, blob, flags, path, lineno, args))
+    return findings
+
+
+def _check_frame(wire: WireProtocol, blob: bytes, flags: Set[str],
+                 path: str, lineno: int, args: dict) -> Iterable[Finding]:
+    header = HeaderView(blob)
+    name = wire.kind_names.get(header.kind)
+    if name is None:
+        yield _finding(
+            "TRC002", path, lineno,
+            f"frame kind {header.kind} ({args.get('src')} -> "
+            f"{args.get('dst')}) is not in the wire model")
+        return
+    missing = sorted(set(wire.requires.get(name, ())) - flags)
+    if missing:
+        yield _finding(
+            "TRC001", path, lineno,
+            f"{name} frame ({args.get('src')} -> {args.get('dst')}) "
+            f"sent before flag(s) {missing} were established on this "
+            f"hop — a transition outside the extracted model")
+    # Establish regardless of validity or drops: keep later findings
+    # about *new* violations, not echoes of this one.
+    flags.update(wire.establishes.get(name, ()))
+
+
+def check_traces(paths: Sequence[str],
+                 model: ProtocolModel) -> List[Finding]:
+    """Replay several trace files; findings are concatenated in order."""
+    findings: List[Finding] = []
+    for path in paths:
+        findings.extend(check_trace(path, model))
+    return findings

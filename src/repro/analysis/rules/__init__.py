@@ -2,5 +2,8 @@
 them with the engine's rule registry."""
 
 from repro.analysis.rules import determinism, hygiene, layering, protocol
+# The model family (MDL rules) lives in its own subpackage — importing
+# it here registers it with the same registry, so plain lint runs it.
+from repro.analysis import model
 
-__all__ = ["layering", "protocol", "determinism", "hygiene"]
+__all__ = ["layering", "protocol", "determinism", "hygiene", "model"]

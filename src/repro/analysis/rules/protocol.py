@@ -19,6 +19,13 @@ PRO004 (error) duplicate field names within one StructDef.
 Type ids written as module-level integer constants (``T_FOO = 12``)
 are resolved by a single constant-propagation pass; dynamically
 computed ids are outside static reach and are skipped.
+
+Scope: the range rule (PRO001) and the *cross-module* half of the
+duplicate rule (PRO002) only bind modules resolved under the ``repro``
+package — the tree whose reserved ranges Sec. 5.2 is about.  Stand-
+alone files (tests, benchmarks) define throwaway ids for registries
+that never coexist; they still get the intra-module duplicate check
+and the field-shape rules (PRO003/PRO004), which are universal.
 """
 
 from __future__ import annotations
@@ -59,6 +66,10 @@ def _reserved_range(module_name: str) -> Tuple[int, int]:
         if module_name == prefix or module_name.startswith(prefix + "."):
             return id_range
     return APPLICATION_RANGE
+
+
+def _in_repro_tree(module_name: str) -> bool:
+    return module_name == "repro" or module_name.startswith("repro.")
 
 
 def _int_constants(tree: ast.Module) -> Dict[str, int]:
@@ -126,7 +137,7 @@ def check_protocol(project: Project) -> Iterable[Finding]:
             type_id = _resolve_id(_call_arg(node, 1, "type_id"), consts)
             uses.append(_StructUse(module=module, line=node.lineno,
                                    name=sname, type_id=type_id))
-            if type_id is not None:
+            if type_id is not None and _in_repro_tree(module.name):
                 lo, hi = _reserved_range(module.name)
                 if not (lo <= type_id <= hi):
                     findings.append(Finding(
@@ -152,6 +163,14 @@ def _check_duplicates(uses: List[_StructUse]) -> Iterable[Finding]:
         group.sort(key=lambda u: (str(u.module.path), u.line))
         first = group[0]
         for dup in group[1:]:
+            # Cross-module collisions only bind inside the repro tree;
+            # stand-alone files may reuse ids across never-coexisting
+            # registries (intra-module duplicates always count).
+            if dup.module.name != first.module.name and not (
+                _in_repro_tree(dup.module.name)
+                and _in_repro_tree(first.module.name)
+            ):
+                continue
             yield Finding(
                 rule="PRO002", severity=SEVERITY_ERROR,
                 path=str(dup.module.path), line=dup.line,

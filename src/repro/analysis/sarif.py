@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 rendering of ntcslint findings.
+
+``--format sarif`` emits one run in the Static Analysis Results
+Interchange Format, which GitHub's code-scanning upload turns into
+inline PR annotations.  Only the fields the upload actually consumes
+are populated: the tool's rule index (id + short description per rule
+family) and one result per finding with its physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import Finding, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rules_index() -> List[dict]:
+    rules: List[dict] = []
+    for rule_obj in all_rules():
+        for rule_id in rule_obj.ids:
+            rules.append({
+                "id": rule_id,
+                "shortDescription": {"text": rule_obj.description},
+                "properties": {"family": rule_obj.name},
+            })
+    # The engine's own pragma check is not a registered family.
+    rules.append({
+        "id": "WVR001",
+        "shortDescription": {
+            "text": "ntcslint pragma names an unknown rule id"},
+        "properties": {"family": "engine"},
+    })
+    return rules
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, object]:
+    """The findings as one SARIF log dict (json.dump-ready)."""
+    rules = _rules_index()
+    known = {r["id"] for r in rules}
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(1, finding.line)},
+                },
+            }],
+        }
+        if finding.rule not in known:
+            # Keep the log valid even for ids minted after this render.
+            result.pop("ruleId")
+            result["message"] = {
+                "text": f"{finding.rule}: {finding.message}"}
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "ntcslint",
+                    "informationUri":
+                        "https://example.invalid/ntcs-repro/ANALYSIS.md",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The findings as a SARIF JSON string."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

@@ -15,6 +15,7 @@ from repro.netsim.scheduler import Scheduler, Event
 from repro.netsim.network import Network, Interface, Datagram
 from repro.netsim.faults import FaultPlan
 from repro.netsim.sniffer import Sniffer, SniffedFrame
+from repro.netsim.tracelog import NetTraceLog
 from repro.netsim.chaos import ChaosEngine, ChaosEvent, ChaosSchedule, random_schedule
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "FaultPlan",
     "Sniffer",
     "SniffedFrame",
+    "NetTraceLog",
     "ChaosEngine",
     "ChaosEvent",
     "ChaosSchedule",

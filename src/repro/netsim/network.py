@@ -124,6 +124,11 @@ class Network:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.bytes_sent = 0
+        # Optional wire tap (see repro.netsim.tracelog): called for
+        # every transmitted frame, after the drop decision, with
+        # (datagram, size, dropped).  Observation only — it cannot
+        # alter delivery, so attaching one never perturbs a run.
+        self.trace_hook: Optional[Callable[[Datagram, int, bool], None]] = None
 
     def attach(self, host: str) -> Interface:
         """Attach a new host; returns its interface."""
@@ -157,7 +162,10 @@ class Network:
         size = size if size is not None else self.DEFAULT_FRAME_SIZE
         self.frames_sent += 1
         self.bytes_sent += size
-        if self.faults.should_drop(datagram.src_host, datagram.dst_host):
+        dropped = self.faults.should_drop(datagram.src_host, datagram.dst_host)
+        if self.trace_hook is not None:
+            self.trace_hook(datagram, size, dropped)
+        if dropped:
             return
         dst = self._interfaces[datagram.dst_host]
         delay = self.latency

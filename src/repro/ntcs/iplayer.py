@@ -42,8 +42,45 @@ from repro.ntcs.protocol import (
     T_IVC_OPEN_ACK,
     T_IVC_OPEN_NAK,
 )
+from repro.util.dispatch import handles
 
 MAX_HOPS = 8
+
+# The IVC endpoint machine, model-checked by ntcsverify (pure literal).
+# Anchored: the state names must match the ``.state`` strings this
+# module actually assigns/compares.  A direct circuit is constructed
+# already in OPEN; a chained one starts in OPENING and leaves it on the
+# end-to-end ACK/NAK, on the open timeout (which runs the normal close
+# path), or on an LVC fault underneath.
+PROTOCOL_MACHINE = {
+    "name": "ivc-endpoint",
+    "anchor": True,
+    "initial": "OPENING",
+    "terminal": ("CLOSED", "FAILED"),
+    "states": {
+        "OPENING": {
+            "waits": True,
+            "edges": (
+                {"event": "recv IVC_OPEN_ACK", "next": "OPEN"},
+                {"event": "recv IVC_OPEN_NAK", "next": "FAILED"},
+                {"event": "timeout open_timeout", "next": "CLOSED"},
+                {"event": "recv IVC_CLOSE", "next": "FAILED"},
+                {"event": "local lvc_fault", "next": "FAILED"},
+            ),
+        },
+        "OPEN": {
+            "edges": (
+                {"event": "send DATA", "next": "OPEN", "progress": True},
+                {"event": "recv DATA", "next": "OPEN", "progress": True},
+                {"event": "recv IVC_CLOSE", "next": "CLOSED"},
+                {"event": "local close", "next": "CLOSED"},
+                {"event": "local lvc_fault", "next": "CLOSED"},
+            ),
+        },
+        "FAILED": {},
+        "CLOSED": {},
+    },
+}
 
 
 class Ivc:
@@ -432,6 +469,7 @@ class IpLayer:
         if ivc is not None:
             self._teardown(ivc, reason)
 
+    @handles("ivc_close")
     def _teardown(self, ivc: Ivc, reason: str) -> None:
         if ivc.state == "CLOSED":
             return

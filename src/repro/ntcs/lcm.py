@@ -60,6 +60,85 @@ from repro.util.idgen import SequenceGenerator
 _TRANSIENT = (AddressFault, ChannelClosed, ConnectionRefused,
               NetworkUnreachable, RouteNotFound)
 
+# The LCM control loops, model-checked by ntcsverify (pure literals).
+# Not anchored: these abstract the send/call/receive control flow, not
+# a ``.state`` field.  Every retry cycle names the budget that bounds
+# it (the name must exist in this module — MDL004 checks), the reply
+# wait carries the call timeout (MDL002), and the receive queue pairs
+# its fill edge with a draining edge (MDL005).
+PROTOCOL_MACHINES = (
+    {
+        "name": "lcm-send-repair",
+        "initial": "IDLE",
+        "terminal": ("DELIVERED", "FAILED"),
+        "states": {
+            "IDLE": {
+                "edges": (
+                    {"event": "local send", "next": "ROUTING"},
+                ),
+            },
+            "ROUTING": {
+                "edges": (
+                    {"event": "send DATA", "next": "DELIVERED"},
+                    {"event": "local address_fault", "next": "BACKOFF"},
+                ),
+            },
+            "BACKOFF": {
+                "edges": (
+                    {"event": "local repair_retry", "next": "ROUTING",
+                     "bounded": "MAX_SEND_ATTEMPTS"},
+                    {"event": "local give_up", "next": "FAILED"},
+                ),
+            },
+            "DELIVERED": {},
+            "FAILED": {},
+        },
+    },
+    {
+        "name": "lcm-call",
+        "initial": "IDLE",
+        "terminal": ("REPLIED", "FAILED"),
+        "states": {
+            "IDLE": {
+                "edges": (
+                    {"event": "send DATA", "next": "WAIT_REPLY"},
+                ),
+            },
+            "WAIT_REPLY": {
+                "waits": True,
+                "edges": (
+                    {"event": "recv DATA", "next": "REPLIED"},
+                    {"event": "timeout call_timeout", "next": "RETRY"},
+                ),
+            },
+            "RETRY": {
+                "edges": (
+                    {"event": "local resend", "next": "WAIT_REPLY",
+                     "bounded": "call_retries"},
+                    {"event": "local give_up", "next": "FAILED"},
+                ),
+            },
+            "REPLIED": {},
+            "FAILED": {},
+        },
+    },
+    {
+        "name": "lcm-rx-queue",
+        "initial": "PUMPING",
+        "terminal": (),
+        "states": {
+            "PUMPING": {
+                "edges": (
+                    {"event": "recv DATA", "next": "PUMPING",
+                     "queue": "+rxq", "progress": True},
+                    {"event": "local deliver", "next": "PUMPING",
+                     "queue": "-rxq", "progress": True},
+                ),
+            },
+        },
+    },
+)
+
 
 @dataclass
 class IncomingMessage:

@@ -36,6 +36,50 @@ from repro.ntcs.stdif import MessageChannel
 from repro.util.counters import ND_FRAMES_FORWARDED
 
 
+# The LVC machine, model-checked by ntcsverify (pure literal).
+# Anchored: state names must match this module's ``.state``
+# strings.  An outbound circuit runs the HELLO handshake under
+# ``open_timeout``; an inbound one sits in AWAIT_HELLO without a
+# local timer (the *peer's* hello timeout bounds that wait — its
+# close tears the transport, which surfaces here as a fault edge).
+PROTOCOL_MACHINE = {
+    "name": "lvc",
+    "anchor": True,
+    "initial": "NEW",
+    "terminal": ("CLOSED",),
+    "states": {
+        "NEW": {
+            "edges": (
+                {"event": "local connect", "next": "HELLO_SENT"},
+                {"event": "local accept", "next": "AWAIT_HELLO"},
+            ),
+        },
+        "HELLO_SENT": {
+            "waits": True,
+            "edges": (
+                {"event": "recv LVC_HELLO_ACK", "next": "OPEN"},
+                {"event": "timeout open_timeout", "next": "CLOSED"},
+            ),
+        },
+        "AWAIT_HELLO": {
+            "edges": (
+                {"event": "recv LVC_HELLO", "next": "OPEN"},
+                {"event": "local transport_fault", "next": "CLOSED"},
+            ),
+        },
+        "OPEN": {
+            "edges": (
+                {"event": "send DATA", "next": "OPEN", "progress": True},
+                {"event": "recv DATA", "next": "OPEN", "progress": True},
+                {"event": "local close", "next": "CLOSED"},
+                {"event": "local transport_fault", "next": "CLOSED"},
+            ),
+        },
+        "CLOSED": {},
+    },
+}
+
+
 class Lvc:
     """One local virtual circuit, as seen above the STD-IF."""
 

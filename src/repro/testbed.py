@@ -28,7 +28,13 @@ from repro.errors import SimulationError
 from repro.ipcs import SimMbxIpcs, SimTcpIpcs
 from repro.machine import Machine, MachineType, SimProcess
 from repro.naming import NameServer, NspLayer, register_naming_types
-from repro.netsim import ChaosEngine, ChaosSchedule, Network, Scheduler
+from repro.netsim import (
+    ChaosEngine,
+    ChaosSchedule,
+    NetTraceLog,
+    Network,
+    Scheduler,
+)
 from repro.ntcs.address import blob_network
 from repro.ntcs.gateway import Gateway
 from repro.ntcs.nucleus import NucleusConfig
@@ -240,6 +246,17 @@ class Testbed:
             server.set_peers(list(old.peer_uadds))
         self.name_server_instance = server
         return server
+
+    def record_wire_trace(self) -> NetTraceLog:
+        """Tap every network of this deployment with one
+        :class:`~repro.netsim.tracelog.NetTraceLog`.  The returned log
+        accumulates every transmitted frame (dropped ones included);
+        dump it with :meth:`NetTraceLog.dump_jsonl` and replay it with
+        ``python -m repro.analysis verify --trace``."""
+        log = NetTraceLog()
+        for network in self.networks.values():
+            log.attach(network)
+        return log
 
     def chaos(self, schedule: ChaosSchedule) -> ChaosEngine:
         """Install a :class:`~repro.netsim.chaos.ChaosSchedule` onto

@@ -1,0 +1,38 @@
+"""Dispatch annotations for the ntcsverify extractor.
+
+Most handler sites are recognized structurally (``unpack_internal``
+calls, ``type_name`` comparisons, dispatch dicts, kind tables), but a
+handler reached through control flow the AST walker cannot follow —
+e.g. a teardown path that consumes a message without unpacking it —
+can declare itself explicitly::
+
+    from repro.util.dispatch import handles
+
+    @handles("ivc_close")
+    def _teardown(self, ivc, reason): ...
+
+The decorator is a pure annotation: it tags the function (so runtime
+introspection can see the claim too) and changes nothing about how it
+is called.  The analyzer reads the decorator's string arguments off
+the AST; it never imports the decorated module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+HANDLES_ATTR = "_ntcs_handles"
+
+
+def handles(*type_names: str) -> Callable[[F], F]:
+    """Declare that the decorated callable handles the named message
+    type(s).  Stacks and repeats: all names accumulate."""
+
+    def mark(func: F) -> F:
+        existing = getattr(func, HANDLES_ATTR, ())
+        setattr(func, HANDLES_ATTR, tuple(existing) + type_names)
+        return func
+
+    return mark

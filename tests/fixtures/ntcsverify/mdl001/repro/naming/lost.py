@@ -1,0 +1,18 @@
+"""MDL001 mutation fixture: the ack handler has been deleted.
+
+``ns_orphan`` is defined and sent as a request, but no module in this
+tree handles it — exactly the hole MDL001 exists to catch.  (With no
+handler at all, MDL002 stays quiet by design: one hole, one finding.)
+"""
+
+from repro.conversion import Field, StructDef
+
+NS_ORPHAN = StructDef("ns_orphan", 30, [Field("name", "char[64]")])
+
+
+class Client:
+    def __init__(self, ali):
+        self.ali = ali
+
+    def ask(self, dst):
+        return self.ali.call(dst, "ns_orphan", {"name": "who"})

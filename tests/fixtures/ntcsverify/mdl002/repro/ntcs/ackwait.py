@@ -1,0 +1,21 @@
+"""MDL002 mutation fixture: the timeout edge has been dropped.
+
+The machine below waits for a peer's ack in ``WAITING`` but its only
+edge out is the ack itself — the timeout edge a real protocol would
+carry was deleted, so one lost frame parks the machine forever.
+"""
+
+PROTOCOL_MACHINE = {
+    "name": "ack-wait",
+    "initial": "WAITING",
+    "terminal": ("DONE",),
+    "states": {
+        "WAITING": {
+            "waits": True,
+            "edges": (
+                {"event": "recv ack", "next": "DONE"},
+            ),
+        },
+        "DONE": {},
+    },
+}

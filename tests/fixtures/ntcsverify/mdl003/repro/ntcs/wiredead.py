@@ -1,0 +1,20 @@
+"""MDL003 mutation fixture: a handshake that can never start.
+
+``HELLO`` requires a ``session`` flag, but nothing in the wire table
+establishes ``session`` — so neither ``HELLO`` nor anything gated on
+it is ever sendable.  The flag fixpoint is empty: a handshake deadlock
+baked into the declaration.
+"""
+
+HELLO = 1
+DATA = 2
+
+KIND_NAMES = {
+    HELLO: "HELLO",
+    DATA: "DATA",
+}
+
+WIRE_PROTOCOL = {
+    "HELLO": {"requires": ("session",), "establishes": ("hello",)},
+    "DATA": {"requires": ("hello",), "establishes": ()},
+}

@@ -1,0 +1,27 @@
+"""MDL004 mutation fixture: the retry bound has been dropped.
+
+``TRY``/``CHECK`` form a retry cycle with no timeout edge, no bounded
+budget, no progress mark, and no queue drain — under a persistent
+fault it spins forever.  (The terminal is still reachable, so this is
+a livelock, not an MDL003 deadlock.)
+"""
+
+PROTOCOL_MACHINE = {
+    "name": "hot-loop",
+    "initial": "TRY",
+    "terminal": ("DONE",),
+    "states": {
+        "TRY": {
+            "edges": (
+                {"event": "local attempt", "next": "CHECK"},
+            ),
+        },
+        "CHECK": {
+            "edges": (
+                {"event": "local failed", "next": "TRY"},
+                {"event": "local success", "next": "DONE"},
+            ),
+        },
+        "DONE": {},
+    },
+}

@@ -1,0 +1,26 @@
+"""MDL005 mutation fixture: the queue's draining edge has been deleted.
+
+The pump cycle is properly bounded (so MDL004 stays quiet), but every
+turn of it enqueues onto ``backlog`` and no edge of the machine ever
+drains it — the unbounded-buildup shape the flow-control readiness
+check exists to catch.
+"""
+
+MAX_PUMPS = 4  # the bound the cycle's edge names
+
+
+PROTOCOL_MACHINE = {
+    "name": "filler",
+    "initial": "PUMP",
+    "terminal": ("DONE",),
+    "states": {
+        "PUMP": {
+            "edges": (
+                {"event": "recv item", "next": "PUMP",
+                 "queue": "+backlog", "bounded": "MAX_PUMPS"},
+                {"event": "local stop", "next": "DONE"},
+            ),
+        },
+        "DONE": {},
+    },
+}

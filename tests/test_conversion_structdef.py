@@ -30,9 +30,9 @@ def test_field_validation():
 
 def test_struct_validation():
     with pytest.raises(ConversionError):
-        StructDef("s", 1, [Field("a", "i32"), Field("a", "u8")])  # dup name
+        StructDef("s", 1, [Field("a", "i32"), Field("a", "u8")])  # ntcslint: allow=PRO004 — exercises the runtime duplicate-name rejection
     with pytest.raises(ConversionError):
-        StructDef("s", 1, [Field("tail", "bytes"), Field("a", "i32")])  # bytes not last
+        StructDef("s", 1, [Field("tail", "bytes"), Field("a", "i32")])  # ntcslint: allow=PRO003 — exercises the runtime bytes-position rejection
     with pytest.raises(ConversionError):
         StructDef("s", -1, [])  # bad type id
     with pytest.raises(ConversionError):

@@ -304,3 +304,218 @@ def test_registry_raises_typed_error_on_duplicate_name():
     # No silent overwrite happened.
     assert registry.get(100).sdef.name == "same_name"
     assert 101 not in registry
+
+
+# ---------------------------------------------------------------------------
+# Pragma edge cases: allow=all, messy comma lists, unknown ids,
+# multi-line statements
+# ---------------------------------------------------------------------------
+
+def _mini_tree(tmp_path, body):
+    """A one-file repro tree under tmp_path; returns the tree root."""
+    pkg = tmp_path / "repro" / "machine"
+    pkg.mkdir(parents=True)
+    (pkg / "clocky.py").write_text(body)
+    return tmp_path
+
+
+def test_pragma_allow_all_waives_every_rule(tmp_path):
+    tree = _mini_tree(tmp_path, (
+        "import time, random\n"
+        "\n"
+        "def tick():\n"
+        "    # Both DET001 and DET003 on one line, one blanket pragma.\n"
+        "    return time.time() + random.random()"
+        "  # ntcslint: allow=all — bootstrap shim\n"
+    ))
+    assert analyze([tree]) == []
+
+
+def test_pragma_comma_list_tolerates_stray_whitespace(tmp_path):
+    tree = _mini_tree(tmp_path, (
+        "import time, random\n"
+        "\n"
+        "def tick():\n"
+        "    return time.time() + random.random()"
+        "  # ntcslint: allow= DET001 ,  DET003 — messy but legal\n"
+    ))
+    assert analyze([tree]) == []
+
+
+def test_pragma_unknown_rule_id_warns_wvr001(tmp_path):
+    tree = _mini_tree(tmp_path, (
+        "def quiet():\n"
+        "    return 1  # ntcslint: allow=ZZZ999 — typo'd id\n"
+    ))
+    findings = analyze([tree])
+    assert [(f.rule, f.severity, f.line) for f in findings] == [
+        ("WVR001", "warning", 2)]
+    assert "ZZZ999" in findings[0].message
+
+
+def test_pragma_on_multiline_statement_waives(tmp_path):
+    # The pragma sits on a *different physical line* of the same
+    # statement as the offending call — it must still match.
+    tree = _mini_tree(tmp_path, (
+        "import time\n"
+        "\n"
+        "def tick():\n"
+        "    value = (  # ntcslint: allow=DET001 — frozen in this shim\n"
+        "        time.time()\n"
+        "    )\n"
+        "    return value\n"
+    ))
+    assert analyze([tree]) == []
+
+
+# ---------------------------------------------------------------------------
+# The waiver ratchet (--max-waivers / --list-waivers) and the
+# committed baseline
+# ---------------------------------------------------------------------------
+
+def _two_waiver_tree(tmp_path):
+    return _mini_tree(tmp_path, (
+        "import time\n"
+        "\n"
+        "def tick():\n"
+        "    a = time.time()  # ntcslint: allow=DET001 — first shim\n"
+        "    b = time.time()  # ntcslint: allow=DET001 — second shim\n"
+        "    return a + b\n"
+    ))
+
+
+def test_cli_max_waivers_within_budget(tmp_path, capsys):
+    tree = _two_waiver_tree(tmp_path)
+    assert main([str(tree), "--max-waivers", "2"]) == 0
+
+
+def test_cli_max_waivers_over_budget(tmp_path, capsys):
+    tree = _two_waiver_tree(tmp_path)
+    assert main([str(tree), "--max-waivers", "1"]) == 1
+    err = capsys.readouterr().err
+    assert "2 waiver(s) active, budget is 1" in err
+    assert "DET001 waived" in err
+
+
+def test_cli_list_waivers_shows_justifications(tmp_path, capsys):
+    tree = _two_waiver_tree(tmp_path)
+    assert main([str(tree), "--list-waivers"]) == 0
+    out = capsys.readouterr().out
+    assert "DET001 waived — first shim" in out
+    assert "DET001 waived — second shim" in out
+    assert "2 waiver(s) active" in out
+
+
+def test_committed_baseline_matches_repo_waiver_count():
+    """The ratchet CI runs: src + tests + benchmarks (fixtures
+    excluded) must carry exactly the baselined number of waivers —
+    fewer means ratchet the file down, more means justify the new
+    pragma in review."""
+    baseline = int((REPO_ROOT / ".ntcslint-baseline").read_text())
+    from repro.analysis.engine import run_rules_with_waivers
+    project = Project.load(
+        [SRC_TREE, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+        exclude=("tests/fixtures",))
+    findings, waivers = run_rules_with_waivers(project)
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert len(waivers) == baseline, "\n".join(w.render() for w in waivers)
+
+
+# ---------------------------------------------------------------------------
+# SARIF output (satellite for the code-scanning upload)
+# ---------------------------------------------------------------------------
+
+def test_cli_sarif_format_is_valid_shape(capsys):
+    assert main([str(FIXTURE_PROJ), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "ntcslint"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    # Every family is indexed, the model stage and WVR001 included.
+    assert {"LAY001", "PRO001", "DET001", "EXC001",
+            "MDL001", "TRC001", "WVR001"} <= rule_ids
+    assert run["results"], "fixture tree must produce results"
+    sample = run["results"][0]
+    assert sample["ruleId"] in rule_ids
+    assert sample["level"] in ("error", "warning")
+    location = sample["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"]
+    assert location["region"]["startLine"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# --exclude (how CI scans tests/ without the seeded fixture trees)
+# ---------------------------------------------------------------------------
+
+def test_cli_exclude_skips_matching_paths(capsys):
+    assert main([str(FIXTURE_PROJ), "--format", "json",
+                 "--exclude", "bad_hygiene"]) == 1
+    records = json.loads(capsys.readouterr().out)
+    assert records and not any("bad_hygiene" in r["path"] for r in records)
+
+
+def test_exclude_whole_fixture_tree_is_clean(capsys):
+    status = main([str(REPO_ROOT / "tests" / "fixtures"),
+                   "--exclude", "tests/fixtures"])
+    assert status == 0
+    assert "ntcslint: clean" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Result caching (--cache): content-hash keyed, whole-tree invalidation
+# ---------------------------------------------------------------------------
+
+def test_cache_round_trip_and_invalidation(tmp_path, capsys):
+    from repro.analysis import cache as result_cache
+
+    tree = _mini_tree(tmp_path / "proj", (
+        "import time\n"
+        "\n"
+        "def tick():\n"
+        "    return time.time()\n"
+    ))
+    cache_file = tmp_path / "cache.json"
+
+    # Cold run stores; exit code and findings as normal.
+    assert main([str(tree), "--cache", str(cache_file),
+                 "--format", "json"]) == 1
+    cold = json.loads(capsys.readouterr().out)
+    assert cache_file.exists()
+
+    # Warm run must be a pure cache hit with identical output.
+    key = result_cache.cache_key([tree], None, ())
+    assert result_cache.load(cache_file, key) is not None
+    assert main([str(tree), "--cache", str(cache_file),
+                 "--format", "json"]) == 1
+    assert json.loads(capsys.readouterr().out) == cold
+
+    # Editing any file changes the manifest: the key moves, so the
+    # stored entry misses and the CLI reruns against the new content.
+    source = tree / "repro" / "machine" / "clocky.py"
+    source.write_text(source.read_text() + "\n# touched\n")
+    new_key = result_cache.cache_key([tree], None, ())
+    assert new_key != key
+    assert result_cache.load(cache_file, new_key) is None
+    assert main([str(tree), "--cache", str(cache_file),
+                 "--format", "json"]) == 1
+    assert json.loads(capsys.readouterr().out) == cold  # same findings
+
+
+def test_cache_corrupt_file_is_a_miss_not_a_crash(tmp_path):
+    from repro.analysis import cache as result_cache
+
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{not json")
+    key = result_cache.cache_key([SRC_TREE], None, ())
+    assert result_cache.load(cache_file, key) is None
+
+
+def test_cache_key_depends_on_rule_filter_and_exclude():
+    from repro.analysis import cache as result_cache
+
+    base = result_cache.cache_key([SRC_TREE], None, ())
+    assert result_cache.cache_key([SRC_TREE], ["DET"], ()) != base
+    assert result_cache.cache_key([SRC_TREE], None, ("x",)) != base
+    assert result_cache.cache_key([SRC_TREE], None, ()) == base
