@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint verify test bench bench-smoke chaos all
+.PHONY: lint verify test bench bench-smoke bench-scale chaos all
 
 all: lint test
 
@@ -52,3 +52,12 @@ bench:
 bench-smoke:
 	$(PYTHON) benchmarks/microbench.py
 	$(PYTHON) benchmarks/microbench.py --check
+
+# Event-core scale sweep (PROTOCOL.md §11): regenerates
+# BENCH_scale.json at the repo root — timer wheel vs the pre-change
+# binary heap at 10/100/1k/10k modules — and enforces the drain
+# throughput floors (>=10x at 10k modules, >=3x at 1k).
+# CI runs this as the bench-scale job.
+bench-scale:
+	$(PYTHON) benchmarks/microbench.py --scale
+	$(PYTHON) benchmarks/microbench.py --check --scale

@@ -16,21 +16,28 @@ Row schema (one JSON object per measurement)::
 ``virtual_ms`` is simulation time (only the end-to-end chain bench has
 it); ``wall_ms`` is the wall-clock cost of taking the measurement.
 
+The event-core scale sweep (timer wheel + run queues vs the pre-change
+single binary heap, PROTOCOL.md §11) writes ``BENCH_scale.json``.
+
 Usage::
 
     python benchmarks/microbench.py            # run + write + enforce
+    python benchmarks/microbench.py --scale    # scale sweep only
     python benchmarks/microbench.py --check    # validate the JSON only
 
 The run fails (exit 1) when the measured speedups fall below the
 acceptance floors: >= 3x on header encode+decode, >= 2x on the
 3-gateway forwarding loop, >= 5x on repeated hot resolution (cache on
-vs off), >= 2x fewer Name-Server requests during an URSA cold start —
-or when the pinned E5-internet establishment-frame counts move.
+vs off), >= 2x fewer Name-Server requests during an URSA cold start,
+>= 10x scheduler event throughput on the 10,000-module topology (>= 3x
+at 1,000) — or when the pinned E5-internet establishment-frame counts
+move.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -45,6 +52,7 @@ sys.path.insert(0, os.path.join(REPO, "tests"))
 OUT_PATH = os.path.join(REPO, "BENCH_pipeline.json")
 NAMING_OUT_PATH = os.path.join(REPO, "BENCH_naming.json")
 RECOVERY_OUT_PATH = os.path.join(REPO, "BENCH_recovery.json")
+SCALE_OUT_PATH = os.path.join(REPO, "BENCH_scale.json")
 SCHEMA_KEYS = ("bench", "metric", "value", "unit", "virtual_ms", "wall_ms")
 
 HEADER_ENCODE_FLOOR = 3.0   # x, header encode+decode vs per-byte loops
@@ -70,6 +78,20 @@ RECOVERY_COUNTERS = (
     "lcm_circuit_faults",
 )
 RECOVERY_BACKOFF_BUCKETS = 8
+
+# Event-core scale sweep (PROTOCOL.md §11): module counts, fixed
+# message workload, and the acceptance floors on timer-wheel speedup
+# over the pre-change single binary heap.  The floors gate the
+# steady-state drain metric: with a 50 ms think time and a 1 s RTO
+# horizon, every connection keeps RTO/think = 20 cancelled timers
+# parked in the queue at any instant, so the pre-change heap carries
+# ~20 corpses per live event at steady state and pays a full
+# O(log n) pop to discard each one.
+SCALE_SWEEP = (10, 100, 1000, 10000)
+SCALE_MESSAGES = 20000
+SCALE_CORPSES_PER_MODULE = 20   # RTO horizon (1 s) / think time (50 ms)
+SCALE_10K_FLOOR = 10.0   # x, drain events/sec at 10,000 modules
+SCALE_1K_FLOOR = 3.0     # x, drain events/sec at 1,000 modules
 
 
 # ---------------------------------------------------------------------------
@@ -140,16 +162,93 @@ def legacy_msg_encode(msg, m):
 
 
 # ---------------------------------------------------------------------------
+# The pre-change event core, embedded verbatim as the scale baseline:
+# one binary heap of Event objects ordered by Python-level __lt__, no
+# run queues, no pooling, lazy cancellation.  This is the scheduler
+# src/repro/netsim/scheduler.py shipped before the timer wheel.
+# ---------------------------------------------------------------------------
+
+import heapq  # ntcslint: allow=DET006 — embedded pre-change baseline for the scale bench
+
+
+class _LegacyEvent:
+    __slots__ = ("time", "seq", "callback", "note", "cancelled")
+
+    def __init__(self, time, seq, callback, note):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.note = note
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class _LegacyScheduler:
+    """Verbatim hot path of the pre-wheel Scheduler (schedule/step)."""
+
+    def __init__(self):
+        self._queue = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    def schedule(self, delay, callback, note=""):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        event = _LegacyEvent(self._now + delay, self._seq, callback, note)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def _pop_runnable(self):
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self):
+        event = self._pop_runnable()
+        if event is None:
+            return False
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
+
+    def pending(self):
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+# ---------------------------------------------------------------------------
 # Measurement helpers
 # ---------------------------------------------------------------------------
 
 def best_of(fn, repeats=5):
-    """Minimum wall-clock seconds over ``repeats`` runs of ``fn``."""
+    """Minimum wall-clock seconds over ``repeats`` runs of ``fn``.
+    The collector is paused per run: large topologies allocate tens of
+    thousands of events and closures, and generational GC pauses
+    otherwise swamp the measurement (±40% observed at 10k modules)."""
     best = None
     for _ in range(repeats):
-        t0 = time.perf_counter()  # ntcslint: allow=DET001 — benchmarks measure wall time by design
-        fn()
-        elapsed = time.perf_counter() - t0  # ntcslint: allow=DET001 — benchmarks measure wall time by design
+        gc_was = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()  # ntcslint: allow=DET001 — benchmarks measure wall time by design
+            fn()
+            elapsed = time.perf_counter() - t0  # ntcslint: allow=DET001 — benchmarks measure wall time by design
+        finally:
+            if gc_was:
+                gc.enable()
         best = elapsed if best is None else min(best, elapsed)
     return best
 
@@ -439,6 +538,205 @@ def bench_e5_invariants(rows: List[dict]) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Event-core scale sweep (PROTOCOL.md §11) -> BENCH_scale.json
+# ---------------------------------------------------------------------------
+
+def _nothing():
+    pass
+
+
+def _build_steady_state(sched, modules):
+    """Arm the queue census an ``modules``-module topology carries at
+    steady state, via identical scheduler calls on either core.
+
+    Per module: one far-future keepalive (the idle majority), one
+    near-due send timer (the work about to happen), and
+    ``SCALE_CORPSES_PER_MODULE`` cancelled retransmit/delayed-ack
+    timers — the timers tcp.py arms per segment and cancels when the
+    ack arrives.  Cancelled timers linger for their full delay, so at
+    a 50 ms think time and a 1 s RTO horizon there are ~20 of them per
+    connection in the queue at any instant.  The pre-change heap keeps
+    every corpse until a pop surfaces it; the wheel's eager accounting
+    compacts them as they accrue.  Returns the live-event count."""
+    schedule = sched.schedule
+    for i in range(modules):
+        schedule(60.0 + (i % 64) * 0.9, _nothing, note="keepalive")
+        schedule(0.001 + (i % 50) * 0.001, _nothing, note="send")
+        for j in range(SCALE_CORPSES_PER_MODULE):
+            schedule(0.2 + j * 0.05 + (i % 16) * 0.003, _nothing,
+                     note="rto").cancel()
+    return 2 * modules
+
+
+def _drain(sched):
+    """Retire every remaining live event; returns how many ran."""
+    retired = 0
+    while sched.step():
+        retired += 1
+    return retired
+
+
+def _timed_drain(make_sched, modules, repeats=3):
+    """Best-of wall seconds to drain the steady-state census, plus the
+    build time and the retired-event count (identical on both cores —
+    corpse discards are the baseline's own overhead, not work)."""
+    best = build_best = None
+    retired = 0
+    for _ in range(repeats):
+        sched = make_sched()
+        gc_was = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()  # ntcslint: allow=DET001 — benchmarks measure wall time by design
+            live = _build_steady_state(sched, modules)
+            t1 = time.perf_counter()  # ntcslint: allow=DET001 — benchmarks measure wall time by design
+            retired = _drain(sched)
+            elapsed = time.perf_counter() - t1  # ntcslint: allow=DET001 — benchmarks measure wall time by design
+        finally:
+            if gc_was:
+                gc.enable()
+        if retired != live:
+            raise AssertionError(
+                f"drain retired {retired} events, expected {live} live"
+            )
+        best = elapsed if best is None else min(best, elapsed)
+        build = t1 - t0
+        build_best = build if build_best is None else min(build_best, build)
+    return best, build_best, retired
+
+
+def _drive_scale_soak(sched, modules, messages):
+    """The same topology, live: every module is one connection
+    exchanging its share of ``messages`` messages in the TCP idiom —
+    a delivery event per segment plus an RTO timer the ack cancels —
+    exactly the event mix network.py/tcp.py generate.  Returns total
+    events processed."""
+    for i in range(modules):
+        sched.schedule(60.0 + (i % 64) * 0.9, _nothing, note="keepalive")
+    # The integrated fast path posts deliveries without a handle; the
+    # legacy baseline predates post() and pays schedule() for both.
+    post = getattr(sched, "post", sched.schedule)
+    per_conn = max(1, messages // modules)
+    finished = [0]
+
+    def connection(k):
+        remaining = [per_conn]
+        pend = [None]
+
+        def on_ack():
+            timer = pend[0]
+            if timer is not None:
+                timer.cancel()
+                pend[0] = None
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                send()
+            else:
+                finished[0] += 1
+
+        def on_rto():
+            pend[0] = None
+
+        def send():
+            post(0.0005 + (k % 7) * 0.0001, on_ack, "segment")
+            pend[0] = sched.schedule(1.0, on_rto, note="rto")
+
+        return send
+
+    for k in range(modules):
+        connection(k)()
+    steps = 0
+    while finished[0] < modules:
+        if not sched.step():
+            break
+        steps += 1
+    return steps
+
+
+def bench_scale(rows: List[dict]) -> List[str]:
+    """Event-core throughput at topology scale, timer wheel vs the
+    pre-change heap.  Two components per module count:
+
+    * **drain** (the floor-gated headline): events/sec retiring the
+      live events out of the steady-state queue census.  This is the
+      metric the cancelled-event leak governs — the heap pops past
+      ~20 corpses per live event at full O(log n) cost each, while
+      the wheel compacted them away as they were cancelled.
+    * **soak** (context): end-to-end events/sec running the live
+      message workload.  Dominated by shared per-event Python
+      dispatch, so it bounds well below the drain ratio.
+
+    Returns floor violations."""
+    from repro.netsim.scheduler import Scheduler
+
+    failures = []
+    for modules in SCALE_SWEEP:
+        legacy_s, legacy_build, retired = _timed_drain(
+            _LegacyScheduler, modules)
+        wheel_s, wheel_build, _ = _timed_drain(Scheduler, modules)
+        legacy_eps = retired / legacy_s
+        wheel_eps = retired / wheel_s
+        speedup = legacy_s / wheel_s
+        rows.append(row("scheduler_scale", f"legacy_heap_eps_{modules}",
+                        legacy_eps, "events/s", wall_ms=legacy_s * 1000))
+        rows.append(row("scheduler_scale", f"timer_wheel_eps_{modules}",
+                        wheel_eps, "events/s", wall_ms=wheel_s * 1000))
+        rows.append(row("scheduler_scale", f"legacy_build_ms_{modules}",
+                        legacy_build * 1000, "ms"))
+        rows.append(row("scheduler_scale", f"wheel_build_ms_{modules}",
+                        wheel_build * 1000, "ms"))
+        rows.append(row("scheduler_scale", f"speedup_{modules}", speedup, "x"))
+
+        def legacy_soak():
+            _drive_scale_soak(_LegacyScheduler(), modules, SCALE_MESSAGES)
+
+        def wheel_soak():
+            _drive_scale_soak(Scheduler(), modules, SCALE_MESSAGES)
+
+        soak_legacy_s = best_of(legacy_soak, repeats=3)
+        soak_wheel_s = best_of(wheel_soak, repeats=3)
+        rows.append(row("scheduler_scale", f"soak_legacy_eps_{modules}",
+                        SCALE_MESSAGES / soak_legacy_s, "events/s",
+                        wall_ms=soak_legacy_s * 1000))
+        rows.append(row("scheduler_scale", f"soak_wheel_eps_{modules}",
+                        SCALE_MESSAGES / soak_wheel_s, "events/s",
+                        wall_ms=soak_wheel_s * 1000))
+        rows.append(row("scheduler_scale", f"soak_speedup_{modules}",
+                        soak_legacy_s / soak_wheel_s, "x"))
+        floor = {10000: SCALE_10K_FLOOR, 1000: SCALE_1K_FLOOR}.get(modules)
+        if floor is not None and speedup < floor:
+            failures.append(
+                f"scheduler drain speedup at {modules} modules "
+                f"{speedup:.2f}x < {floor}x floor"
+            )
+    return failures
+
+
+def check_scale_floors(path: str) -> List[str]:
+    """Re-enforce the scale floors from an existing BENCH_scale.json
+    (the ``--check`` side of the contract)."""
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    speedups = {entry["metric"]: entry["value"] for entry in rows
+                if isinstance(entry, dict)
+                and entry.get("bench") == "scheduler_scale"
+                and str(entry.get("metric", "")).startswith("speedup_")}
+    problems = []
+    for modules, floor in ((10000, SCALE_10K_FLOOR), (1000, SCALE_1K_FLOOR)):
+        metric = f"speedup_{modules}"
+        if metric not in speedups:
+            problems.append(f"{path}: missing {metric} row")
+        elif speedups[metric] < floor:
+            problems.append(
+                f"{path}: {metric} = {speedups[metric]:.2f}x < {floor}x floor"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Crash recovery bench (PROTOCOL.md §10) -> BENCH_recovery.json
 # ---------------------------------------------------------------------------
 
@@ -550,25 +848,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
                         help="validate BENCH_pipeline.json, "
-                             "BENCH_naming.json and BENCH_recovery.json, "
+                             "BENCH_naming.json, BENCH_recovery.json and "
+                             "BENCH_scale.json (schema + scale floors), "
                              "then exit")
+    parser.add_argument("--scale", action="store_true",
+                        help="run only the event-core scale sweep "
+                             "(BENCH_scale.json); with --check, validate "
+                             "only that file")
     parser.add_argument("--out", default=OUT_PATH,
                         help="pipeline output path (default: repo root)")
     parser.add_argument("--naming-out", default=NAMING_OUT_PATH,
                         help="naming output path (default: repo root)")
     parser.add_argument("--recovery-out", default=RECOVERY_OUT_PATH,
                         help="recovery output path (default: repo root)")
+    parser.add_argument("--scale-out", default=SCALE_OUT_PATH,
+                        help="scale output path (default: repo root)")
     args = parser.parse_args(argv)
 
     if args.check:
+        paths = ((args.scale_out,) if args.scale
+                 else (args.out, args.naming_out, args.recovery_out,
+                       args.scale_out))
         problems = []
-        for path in (args.out, args.naming_out, args.recovery_out):
+        for path in paths:
             found = validate(path)
+            if path == args.scale_out and not found:
+                found = check_scale_floors(path)
             for problem in found:
                 print(f"schema violation: {problem}", file=sys.stderr)
             print(f"{path}: " + ("INVALID" if found else "ok"))
             problems.extend(found)
         return 1 if problems else 0
+
+    if args.scale:
+        scale_rows: List[dict] = []
+        scale_failures = bench_scale(scale_rows)
+        _write_rows(args.scale_out, scale_rows)
+        scale_failures.extend(
+            f"schema violation: {p}" for p in validate(args.scale_out))
+        for failure in scale_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if scale_failures else 0
 
     rows: List[dict] = []
     header_speedup = bench_header_codec(rows)
@@ -586,6 +906,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     recovery_rows: List[dict] = []
     recovery_failures = bench_recovery(recovery_rows)
     _write_rows(args.recovery_out, recovery_rows)
+
+    scale_rows: List[dict] = []
+    scale_failures = bench_scale(scale_rows)
+    _write_rows(args.scale_out, scale_rows)
 
     failures = []
     if header_speedup < HEADER_ENCODE_FLOOR:
@@ -610,7 +934,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     failures.extend(e5_failures)
     failures.extend(recovery_failures)
-    for path in (args.out, args.naming_out, args.recovery_out):
+    failures.extend(scale_failures)
+    for path in (args.out, args.naming_out, args.recovery_out,
+                 args.scale_out):
         failures.extend(f"schema violation: {p}" for p in validate(path))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

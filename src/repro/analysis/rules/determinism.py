@@ -25,6 +25,17 @@ DET005 (error) chaos/repair modules (:data:`_REPAIR_MODULES`) must not
                which derives per-module seeds with crc32 (stable across
                processes, unlike string ``hash()``), so a chaos schedule
                replays bit-identically from its seed alone.
+DET006 (error) direct ``heapq`` use outside the shared timer module
+               (:data:`_TIMER_MODULES`).  Event ordering is a protocol
+               invariant — the total order ``(time, seq)`` that wire
+               goldens and chaos replays are pinned to lives in
+               ``netsim/timerwheel.py``, and every driver (virtual-time
+               scheduler, realtime kernel) must file timers through it.
+               A private heap is a second, unaccounted event queue:
+               its entries are invisible to ``pending()``, escape
+               cancellation accounting, and can interleave with wheel
+               events in an order no replay can reproduce.  Unlike
+               DET001–DET004, ``repro.realnet`` is *not* exempt.
 """
 
 from __future__ import annotations
@@ -56,6 +67,12 @@ _REPAIR_MODULES: Tuple[str, ...] = (
     "repro.ntcs.gateway",
 )
 
+# The one home of heap-ordered event storage (DET006).  Everything
+# else — including repro.realnet — files timers through its wheel.
+_TIMER_MODULES: Tuple[str, ...] = (
+    "repro.netsim.timerwheel",
+)
+
 
 def _exempt(module_name: str) -> bool:
     return any(module_name == p or module_name.startswith(p + ".")
@@ -64,13 +81,15 @@ def _exempt(module_name: str) -> bool:
 
 @rule(
     name="determinism",
-    ids=("DET001", "DET002", "DET003", "DET004", "DET005"),
+    ids=("DET001", "DET002", "DET003", "DET004", "DET005", "DET006"),
     description="sim code uses virtual time and seeded RNGs only",
 )
 def check_determinism(project: Project) -> Iterable[Finding]:
-    """Emit DET001–DET005 findings for wall-clock/RNG use in sim code."""
+    """Emit DET001–DET006 findings for wall-clock/RNG/heapq use."""
     findings: List[Finding] = []
     for module in project.modules:
+        if module.name not in _TIMER_MODULES:
+            findings.extend(_check_heapq(module))
         if _exempt(module.name):
             continue
         aliases = _stdlib_aliases(module)
@@ -80,6 +99,26 @@ def check_determinism(project: Project) -> Iterable[Finding]:
             elif isinstance(node, ast.Call):
                 findings.extend(_check_call(module, node, aliases))
     return findings
+
+
+def _check_heapq(module: ModuleInfo) -> Iterable[Finding]:
+    """DET006: any heapq import outside the shared timer module."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "heapq" or alias.name.startswith("heapq."):
+                    yield _finding(
+                        "DET006", module, node.lineno,
+                        "direct heapq import; event ordering lives in "
+                        "repro.netsim.timerwheel — file timers through "
+                        "the shared wheel, not a private heap")
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module == "heapq":
+            yield _finding(
+                "DET006", module, node.lineno,
+                "imports from heapq; event ordering lives in "
+                "repro.netsim.timerwheel — file timers through the "
+                "shared wheel, not a private heap")
 
 
 def _stdlib_aliases(module: ModuleInfo) -> Dict[str, str]:

@@ -114,6 +114,18 @@ class StructDef:
         self._has_tail = bool(self.fields) and self.fields[-1].is_bytes
         self._fixed_format = "".join(f.struct_code for f in self._fixed_fields)
         self.fixed_size = struct.calcsize("<" + self._fixed_format)
+        # Precompiled per-byte-order codecs: struct.pack/unpack with a
+        # string format re-parses the format on every message, which
+        # shows up on the per-message hot path.  Definitions are static,
+        # so compile once per (prefix, format) pair on demand.
+        self._codecs: Dict[str, struct.Struct] = {}
+
+    def _codec(self, byte_order_prefix: str) -> struct.Struct:
+        codec = self._codecs.get(byte_order_prefix)
+        if codec is None:
+            codec = struct.Struct(byte_order_prefix + self._fixed_format)
+            self._codecs[byte_order_prefix] = codec
+        return codec
 
     @property
     def has_tail(self) -> bool:
@@ -147,8 +159,7 @@ class StructDef:
         """Lay the structure out as it sits in memory on a machine with
         the given byte order — the paper's "memory image"."""
         try:
-            body = struct.pack(byte_order_prefix + self._fixed_format,
-                               *self._coerce(values))
+            body = self._codec(byte_order_prefix).pack(*self._coerce(values))
         except struct.error as exc:
             raise ConversionError(f"{self.name}: image encode failed: {exc}")
         if self._has_tail:
@@ -169,7 +180,7 @@ class StructDef:
                 f"fixed size {self.fixed_size}"
             )
         try:
-            raw = struct.unpack_from(byte_order_prefix + self._fixed_format, data)
+            raw = self._codec(byte_order_prefix).unpack_from(data)
         except struct.error as exc:
             raise ConversionError(f"{self.name}: image decode failed: {exc}")
         values: Dict[str, Any] = {}

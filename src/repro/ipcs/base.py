@@ -137,6 +137,12 @@ class Ipcs:
         self.iface: Interface = machine.interface(network.name)
         self.iface.bind_protocol(self.protocol, self._on_datagram)
         machine.register_ipcs(network.name, self.protocol, self)
+        # Local FIFO for this endpoint's immediate work (rx coalescing
+        # and the like): posts land in O(1) and only the queue head is
+        # registered with the global timer wheel, so the idle majority
+        # of a large topology is never visited (PROTOCOL.md §11).
+        self.run_queue = machine.scheduler.run_queue(
+            f"{machine.name}/{network.name}/{self.protocol}")
 
     @property
     def scheduler(self):

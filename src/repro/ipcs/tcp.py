@@ -312,7 +312,7 @@ class SimTcpIpcs(Ipcs):
             # segments arriving at the same instant coalesce into one
             # chunk — receivers must frame their own messages.
             conn.rx_flush_scheduled = True
-            self.scheduler.call_soon(lambda: self._flush_rx(conn), note="tcp rx flush")
+            self.run_queue.post(lambda: self._flush_rx(conn), note="tcp rx flush")
 
     def _flush_rx(self, conn: _TcpConn) -> None:
         conn.rx_flush_scheduled = False

@@ -191,7 +191,9 @@ class ChaosEngine:
         for event in self.schedule.sorted_events():
             self._validate(event)
             delay = max(0.0, event.at - self.scheduler.now)
-            self.scheduler.schedule(
+            # Installed faults always fire — no handle to cancel — so
+            # they ride the scheduler's pooled no-handle path.
+            self.scheduler.post(
                 delay, self._applier(event),
                 note=f"chaos:{event.op}:{event.target}",
             )

@@ -176,7 +176,10 @@ class Network:
             self.frames_delivered += 1
             dst.deliver(datagram)
 
-        self.scheduler.schedule(
+        # Fire-and-forget: a frame in flight is never cancelled, so the
+        # pooled no-handle flavour keeps the per-frame cost to one
+        # recycled event object (PROTOCOL.md §11).
+        self.scheduler.post(
             delay,
             deliver,
             note=f"{self.name}:{datagram.src_host}->{datagram.dst_host}",

@@ -14,40 +14,30 @@ call ``pump_until`` — a nested, deeper pump over the same queue.  That
 is exactly the recursive control structure of Sec. 6 of the paper, and
 it is what lets a Name-Server request issued *from inside* a send be
 served before the send completes.
+
+Storage is the shared hierarchical timer wheel of
+:mod:`repro.netsim.timerwheel` (PROTOCOL.md §11): events run in the
+exact ``(time, seq)`` total order the original single heap produced,
+but pushes, pops and ``pending()`` no longer pay per-event Python
+comparisons or O(n) scans.  Three scheduling flavours exist:
+
+* :meth:`schedule` — returns a cancellable :class:`Event` handle.
+* :meth:`post` — no handle, so the event object is recycled through a
+  free list; use for fire-and-forget hot-path work (datagram delivery,
+  chaos appliers) that is never cancelled.
+* :meth:`run_queue` — a named per-nucleus FIFO whose ``post`` is O(1)
+  and registers only the queue head with the wheel, so idle modules
+  cost nothing per tick.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.errors import DeadlockError, SimulationError, VirtualTimeout
+from repro.netsim.timerwheel import Event, EventPool, RunQueue, TimerWheel
 
-
-class Event:
-    """A scheduled callback.  Returned by :meth:`Scheduler.schedule` so
-    callers can cancel it.  Ordered by (time, sequence) for determinism.
-    """
-
-    __slots__ = ("time", "seq", "callback", "note", "cancelled")
-
-    def __init__(self, time: float, seq: int, callback: Callable[[], None], note: str):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.note = note
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Prevent the callback from running.  Safe to call twice."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time:.6f}, seq={self.seq}, {state}, note={self.note!r})"
+__all__ = ["Event", "RunQueue", "Scheduler"]
 
 
 class Scheduler:
@@ -57,10 +47,16 @@ class Scheduler:
         max_events: hard ceiling on total events processed, a backstop
             against runaway feedback loops (the reproduction's analogue
             of a hung testbed).
+        quantum: timer-wheel bucket width in virtual seconds.  Purely a
+            routing knob — the execution order is bucket-independent.
+        wheel_slots: bucket count; ``quantum * wheel_slots`` is the
+            wheel window, beyond which events sit in the overflow heap.
     """
 
-    def __init__(self, max_events: int = 5_000_000):
-        self._queue: List[Event] = []
+    def __init__(self, max_events: int = 5_000_000,
+                 quantum: float = 0.005, wheel_slots: int = 512):
+        self._wheel = TimerWheel(quantum=quantum, slots=wheel_slots)
+        self._pool = EventPool()
         self._seq = 0
         self._now = 0.0
         self._processed = 0
@@ -84,31 +80,67 @@ class Scheduler:
     def events_processed(self) -> int:
         return self._processed
 
+    @property
+    def wheel(self) -> TimerWheel:
+        """The underlying timer wheel (stats: compactions, pool reuse)."""
+        return self._wheel
+
+    @property
+    def pool(self) -> EventPool:
+        """The free list recycling no-handle events."""
+        return self._pool
+
     # -- scheduling -------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[[], None], note: str = "") -> Event:
-        """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 note: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` virtual seconds from
+        now.  Returns a cancellable handle (never pooled)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self._seq += 1
         event = Event(self._now + delay, self._seq, callback, note)
-        heapq.heappush(self._queue, event)
+        self._wheel.push(event)
         return event
+
+    def post(self, delay: float, callback: Callable[[], None],
+             note: str = "") -> None:
+        """Fire-and-forget :meth:`schedule`: identical ordering, but no
+        handle is returned, so the event object rides the free list.
+        The hot-path flavour for work that is never cancelled."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        self._wheel.push(
+            self._pool.acquire(self._now + delay, self._seq, callback, note))
 
     def call_soon(self, callback: Callable[[], None], note: str = "") -> Event:
         """Schedule ``callback`` at the current virtual time (after any
         already-queued events at this time)."""
         return self.schedule(0.0, callback, note)
 
+    def run_queue(self, name: str) -> RunQueue:
+        """A named per-nucleus FIFO.  Its ``post`` lands locally in
+        O(1); only the queue's head deadline is registered with the
+        wheel, so idle queues are never visited."""
+        return RunQueue(self, name)
+
+    def _post_queued(self, queue: RunQueue, callback: Callable[[], None],
+                     note: str) -> None:
+        self._seq += 1
+        self._wheel.queue_push(
+            queue, self._pool.acquire(self._now, self._seq, callback, note))
+
     # -- execution --------------------------------------------------------
 
     def _pop_runnable(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or None if queue empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if not event.cancelled:
-                return event
-        return None
+        return self._wheel.pop()
+
+    def _peek_time(self) -> Optional[float]:
+        """Time of the earliest non-cancelled event, or None."""
+        event = self._wheel.peek()
+        return None if event is None else event.time
 
     def _run(self, event: Event) -> None:
         if event.time < self._now:
@@ -122,12 +154,18 @@ class Scheduler:
                 f"event budget exceeded ({self._max_events}); "
                 "probable runaway feedback loop"
             )
-        event.callback()
+        callback = event.callback
+        if event._pooled:
+            # No handle exists, so nothing can cancel or observe the
+            # object: recycle it before the callback so bursts of
+            # fire-and-forget work reuse one allocation.
+            self._pool.release(event)
+        callback()
 
     def step(self) -> bool:
         """Run the single earliest pending event.  Returns False when the
         queue is empty."""
-        event = self._pop_runnable()
+        event = self._wheel.pop()
         if event is None:
             return False
         self._run(event)
@@ -148,15 +186,11 @@ class Scheduler:
         of events run."""
         deadline = self._now + duration
         ran = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time > deadline:
+        while True:
+            head_time = self._peek_time()
+            if head_time is None or head_time > deadline:
                 break
-            heapq.heappop(self._queue)
-            self._run(head)
+            self._run(self._wheel.pop())
             ran += 1
         self._now = max(self._now, deadline)
         return ran
@@ -185,8 +219,8 @@ class Scheduler:
             while True:
                 if predicate():
                     return True
-                event = self._pop_runnable()
-                if event is None:
+                head_time = self._peek_time()
+                if head_time is None:
                     if deadline is not None:
                         self._now = max(self._now, deadline)
                         return False
@@ -194,12 +228,11 @@ class Scheduler:
                         f"pump_until({what or 'predicate'}): event queue empty "
                         "and predicate false — nothing can unblock this call"
                     )
-                if deadline is not None and event.time > deadline:
-                    # Put it back: it belongs to whoever pumps next.
-                    heapq.heappush(self._queue, event)
+                if deadline is not None and head_time > deadline:
+                    # Leave it in place: it belongs to whoever pumps next.
                     self._now = deadline
                     return False
-                self._run(event)
+                self._run(self._wheel.pop())
         finally:
             self._pump_depth -= 1
 
@@ -217,8 +250,9 @@ class Scheduler:
             self.wait(when - self._now)
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled queued events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled queued events.  O(1): the wheel
+        accounts for cancellations eagerly."""
+        return self._wheel.live
 
     def raise_timeout(self, what: str) -> None:
         """Helper for callers that want the raising flavour of timeout."""

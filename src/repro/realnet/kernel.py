@@ -5,33 +5,24 @@ The NTCS layers only use a small scheduler surface: ``now``,
 implements it against wall-clock time and a :mod:`selectors` loop, so
 the same passive, reentrantly-blocking layers run unchanged over real
 sockets.
+
+Timers are stored on the same hierarchical
+:class:`~repro.netsim.timerwheel.TimerWheel` the virtual-time
+scheduler uses — one clock abstraction, two drivers (PROTOCOL.md §11).
+The wheel gives this kernel the identical total order ``(when, seq)``,
+O(1) ``pending()``, and eager cancellation accounting; only the notion
+of "now" (``time.monotonic`` here, the virtual clock in simulation)
+differs between the two drivers.
 """
 
 from __future__ import annotations
 
-import heapq
 import selectors
 import time
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 from repro.errors import SimulationError
-
-
-class _Timer:
-    __slots__ = ("when", "seq", "callback", "note", "cancelled")
-
-    def __init__(self, when: float, seq: int, callback: Callable[[], None], note: str):
-        self.when = when
-        self.seq = seq
-        self.callback = callback
-        self.note = note
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        self.cancelled = True
-
-    def __lt__(self, other: "_Timer") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
+from repro.netsim.timerwheel import Event, RunQueue, TimerWheel
 
 
 class RealtimeKernel:
@@ -46,9 +37,14 @@ class RealtimeKernel:
     #: Longest single poll; keeps a pump responsive to its predicate.
     MAX_POLL = 0.05
 
+    #: Wheel bucket width in wall seconds; timers beyond the window
+    #: (quantum * slots) sit in the overflow heap until due.
+    QUANTUM = 0.01
+    WHEEL_SLOTS = 512
+
     def __init__(self):
         self.selector = selectors.DefaultSelector()
-        self._timers: List[_Timer] = []
+        self._wheel = TimerWheel(quantum=self.QUANTUM, slots=self.WHEEL_SLOTS)
         self._seq = 0
         self._t0 = time.monotonic()
         self._pump_depth = 0
@@ -66,6 +62,12 @@ class RealtimeKernel:
     def pump_depth(self) -> int:
         return self._pump_depth
 
+    @property
+    def wheel(self) -> TimerWheel:
+        """The underlying timer wheel (shared implementation with the
+        virtual-time scheduler)."""
+        return self._wheel
+
     # -- timers -------------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[[], None], note: str = ""):
@@ -73,20 +75,32 @@ class RealtimeKernel:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self._seq += 1
-        timer = _Timer(self.now + delay, self._seq, callback, note)
-        heapq.heappush(self._timers, timer)
+        timer = Event(self.now + delay, self._seq, callback, note)
+        self._wheel.push(timer)
         return timer
 
     def call_soon(self, callback: Callable[[], None], note: str = ""):
         """Run a callback on the next pump iteration."""
         return self.schedule(0.0, callback, note)
 
+    def run_queue(self, name: str) -> RunQueue:
+        """A named local FIFO, as on the simulation scheduler.  Posted
+        work runs on the next pump iteration in global order."""
+        return RunQueue(self, name)
+
+    def _post_queued(self, queue: RunQueue, callback: Callable[[], None],
+                     note: str) -> None:
+        self._seq += 1
+        self._wheel.queue_push(queue, Event(self.now, self._seq, callback, note))
+
     def _run_due_timers(self) -> int:
         ran = 0
-        while self._timers and self._timers[0].when <= self.now:
-            timer = heapq.heappop(self._timers)
-            if timer.cancelled:
-                continue
+        now = self.now
+        while True:
+            timer = self._wheel.peek()
+            if timer is None or timer.time > now:
+                break
+            self._wheel.pop()
             self.events_processed += 1
             timer.callback()
             ran += 1
@@ -163,8 +177,9 @@ class RealtimeKernel:
                 if deadline is not None and self.now >= deadline:
                     return False
                 wait = self.MAX_POLL
-                if self._timers:
-                    wait = min(wait, max(0.0, self._timers[0].when - self.now))
+                head = self._wheel.peek()
+                if head is not None:
+                    wait = min(wait, max(0.0, head.time - self.now))
                 if deadline is not None:
                     wait = min(wait, max(0.0, deadline - self.now))
                 self._poll(wait)
@@ -180,8 +195,9 @@ class RealtimeKernel:
         self.wait(duration)
 
     def pending(self) -> int:
-        """Number of armed (uncancelled) timers."""
-        return sum(1 for t in self._timers if not t.cancelled)
+        """Number of armed (uncancelled) timers.  O(1): the shared
+        wheel accounts for cancellations eagerly."""
+        return self._wheel.live
 
     def close(self) -> None:
         """Close the selector (call once, on shutdown)."""

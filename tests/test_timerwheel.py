@@ -1,0 +1,281 @@
+"""Unit and property tests for the shared timer wheel (PROTOCOL.md §11).
+
+The wheel's determinism contract is that bucketing only *routes*
+entries — execution order is exactly the ``(time, seq)`` total order
+the original single heap produced.  The property test at the bottom
+pins that against a plain ``sorted()`` reference model across random
+op sequences; the unit tests walk the structural edges (bucket
+boundaries, overflow cascade, pool recycling, compaction) that a
+random walk is unlikely to land on precisely.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import Scheduler
+from repro.netsim.timerwheel import Event, RunQueue, TimerWheel
+
+
+QUANTUM = 0.005
+
+
+def make_sched(**kwargs):
+    kwargs.setdefault("quantum", QUANTUM)
+    return Scheduler(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Bucket-boundary behaviour
+# ---------------------------------------------------------------------------
+
+def test_events_straddling_bucket_edges_run_in_order():
+    sched = make_sched()
+    order = []
+    # Just below, exactly on, and just above one bucket edge, plus the
+    # next edge — insertion order deliberately scrambled.
+    for tag, t in (("d", 2 * QUANTUM), ("b", QUANTUM),
+                   ("a", QUANTUM - 1e-6), ("c", QUANTUM + 1e-6)):
+        sched.schedule(t, lambda t=tag: order.append(t))
+    sched.run_until_idle()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_run_for_ending_exactly_on_bucket_edge():
+    sched = make_sched()
+    ran = []
+    sched.schedule(QUANTUM, lambda: ran.append("on-edge"))
+    sched.schedule(QUANTUM + 1e-6, lambda: ran.append("past-edge"))
+    # A window ending exactly on the edge includes the on-edge event
+    # (run_for is inclusive of the deadline) and excludes the later one.
+    assert sched.run_for(QUANTUM) == 1
+    assert ran == ["on-edge"]
+    assert sched.now == pytest.approx(QUANTUM)
+    assert sched.run_for(QUANTUM) == 1
+    assert ran == ["on-edge", "past-edge"]
+
+
+def test_far_future_events_cascade_from_overflow():
+    # Beyond quantum * slots the wheel parks events in the overflow
+    # heap; they must still run, in order, once the cursor gets there.
+    sched = Scheduler(quantum=0.001, wheel_slots=8)
+    window = 0.001 * 8
+    order = []
+    sched.schedule(window * 40, lambda: order.append("far"))
+    sched.schedule(window * 20, lambda: order.append("mid"))
+    sched.schedule(0.0005, lambda: order.append("near"))
+    sched.run_until_idle()
+    assert order == ["near", "mid", "far"]
+
+
+def test_pump_until_reentrant_across_bucket_boundaries():
+    # A nested pump driven from inside a handler must drain events that
+    # live in *later* buckets (and the overflow tier) than the event
+    # that started it — the cursor advances correctly mid-pump.
+    sched = Scheduler(quantum=0.001, wheel_slots=8)
+    window = 0.001 * 8
+    hit = []
+
+    def outer():
+        hit.append("outer")
+        sched.schedule(window * 3, lambda: hit.append("inner-far"))
+        sched.schedule(0.0001, lambda: hit.append("inner-near"))
+        assert sched.pump_until(lambda: "inner-far" in hit, timeout=window * 5)
+        hit.append("outer-done")
+
+    sched.schedule(0.0005, outer)
+    sched.schedule(window * 6, lambda: hit.append("tail"))
+    sched.run_until_idle()
+    assert hit == ["outer", "inner-near", "inner-far", "outer-done", "tail"]
+
+
+# ---------------------------------------------------------------------------
+# Event pool
+# ---------------------------------------------------------------------------
+
+def test_post_recycles_event_objects():
+    sched = make_sched()
+    ran = [0]
+    for _ in range(5):
+        sched.post(0.001, lambda: ran.__setitem__(0, ran[0] + 1))
+        sched.run_until_idle()
+    assert ran[0] == 5
+    # One allocation serves the whole sequence: each event is released
+    # before its callback runs, so the next post reuses it.
+    assert sched.pool.allocated == 1
+    assert sched.pool.reused == 4
+
+
+def test_cancel_then_reschedule_does_not_corrupt_pool():
+    # A cancelled schedule() handle must never be recycled: cancelling
+    # it after new events are scheduled must affect only itself.
+    sched = make_sched()
+    order = []
+    handle = sched.schedule(0.002, lambda: order.append("cancelled!"))
+    handle.cancel()
+    # Burst of pooled posts at the same time — if the cancelled handle
+    # leaked into the free list, one of these would inherit .cancelled.
+    for i in range(3):
+        sched.post(0.002, lambda i=i: order.append(i))
+    replacement = sched.schedule(0.002, lambda: order.append("re"))
+    sched.run_until_idle()
+    assert order == [0, 1, 2, "re"]
+    assert not replacement.cancelled
+    # Cancelling the stale handle again is a no-op on live events.
+    handle.cancel()
+    sched.post(0.001, lambda: order.append("after"))
+    sched.run_until_idle()
+    assert order == [0, 1, 2, "re", "after"]
+
+
+# ---------------------------------------------------------------------------
+# Cancellation accounting
+# ---------------------------------------------------------------------------
+
+def test_pending_is_eager_and_compaction_removes_corpses():
+    sched = make_sched()
+    keep = [sched.schedule(1.0 + i * 0.01, lambda: None) for i in range(10)]
+    corpses = [sched.schedule(2.0 + i * 0.001, lambda: None)
+               for i in range(200)]
+    assert sched.pending() == 210
+    for event in corpses:
+        event.cancel()
+    # pending() reflects every cancel immediately (no pop needed)...
+    assert sched.pending() == 10
+    # ...and with 200 corpses > 10 live the wheel has compacted,
+    # repeatedly, keeping the held-corpse residue bounded by the
+    # compaction threshold rather than growing with the cancel count.
+    assert sched.wheel.compactions >= 2
+    assert sched.wheel.cancelled_held <= sched.wheel.compact_threshold
+    assert all(not e.cancelled for e in keep)
+    assert sched.run_until_idle() == 10
+
+
+def test_cancelled_head_is_skipped_without_running():
+    sched = make_sched()
+    order = []
+    head = sched.schedule(0.001, lambda: order.append("head"))
+    sched.schedule(0.002, lambda: order.append("next"))
+    head.cancel()
+    sched.run_until_idle()
+    assert order == ["next"]
+    assert sched.pending() == 0
+
+
+# ---------------------------------------------------------------------------
+# Run queues
+# ---------------------------------------------------------------------------
+
+def test_run_queue_posts_interleave_with_timers_in_global_order():
+    sched = make_sched()
+    order = []
+    q = sched.run_queue("nucleus-a")
+    sched.schedule(0.0, lambda: order.append("timer-first"))
+    q.post(lambda: order.append("queued-1"))
+    sched.schedule(0.0, lambda: order.append("timer-last"))
+    q.post(lambda: order.append("queued-2"))
+    sched.run_until_idle()
+    # All at t=0: global (time, seq) order is exactly issue order.
+    assert order == ["timer-first", "queued-1", "timer-last", "queued-2"]
+
+
+def test_idle_run_queues_register_nothing():
+    sched = make_sched()
+    queues = [sched.run_queue(f"idle-{i}") for i in range(100)]
+    assert sched.pending() == 0
+    queues[7].post(lambda: None)
+    assert sched.pending() == 1
+    sched.run_until_idle()
+    assert all(len(q) == 0 for q in queues)
+
+
+def test_run_queue_post_from_drained_callback_requeues_head():
+    sched = make_sched()
+    order = []
+    q = sched.run_queue("self-posting")
+
+    def first():
+        order.append("first")
+        q.post(lambda: order.append("second"))
+
+    q.post(first)
+    sched.run_until_idle()
+    assert order == ["first", "second"]
+
+
+# ---------------------------------------------------------------------------
+# Property: wheel order == heap order
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=30.0,
+                      allow_nan=False, allow_infinity=False),
+            st.sampled_from(["schedule", "post", "queue0", "queue1",
+                             "cancel-last"]),
+        ),
+        min_size=1, max_size=60,
+    ),
+    st.integers(min_value=1, max_value=24),
+)
+def test_wheel_execution_order_matches_total_order(ops, slots):
+    """Whatever the bucket geometry, execution order is exactly the
+    sorted ``(time, seq)`` order of the surviving events — the order
+    the pre-wheel single heap produced."""
+    sched = Scheduler(quantum=0.003, wheel_slots=slots)
+    queues = {name: sched.run_queue(name) for name in ("queue0", "queue1")}
+    executed = []
+    expected = []   # (time, seq) of every event that must run
+    seq = [0]
+    last_handle = [None]
+
+    def emit(time, seq_no):
+        executed.append((time, seq_no))
+
+    for delay, kind in ops:
+        seq[0] += 1
+        seq_no = seq[0]
+        if kind == "schedule":
+            handle = sched.schedule(delay, lambda s=seq_no, t=delay: emit(t, s))
+            last_handle[0] = (handle, (delay, seq_no))
+            expected.append((delay, seq_no))
+        elif kind == "post":
+            sched.post(delay, lambda s=seq_no, t=delay: emit(t, s))
+            expected.append((delay, seq_no))
+        elif kind in queues:
+            # Run-queue posts ignore the delay: they land at now (=0).
+            queues[kind].post(lambda s=seq_no: emit(0.0, s))
+            expected.append((0.0, seq_no))
+        elif kind == "cancel-last":
+            seq[0] -= 1   # no event issued
+            if last_handle[0] is not None:
+                handle, key = last_handle[0]
+                handle.cancel()
+                if key in expected:
+                    expected.remove(key)
+                last_handle[0] = None
+
+    sched.run_until_idle()
+    # The reference model: a single totally-ordered queue.  (sorted()
+    # here, the heap in the original implementation — same order.)
+    assert executed == sorted(expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+                min_size=1, max_size=40))
+def test_raw_wheel_pop_sequence_is_sorted(times):
+    wheel = TimerWheel(quantum=0.01, slots=16)
+    for i, t in enumerate(times):
+        wheel.push(Event(t, i + 1, lambda: None, ""))
+    popped = []
+    while True:
+        event = wheel.pop()
+        if event is None:
+            break
+        popped.append((event.time, event.seq))
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+    assert wheel.live == 0
