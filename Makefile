@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint verify test bench bench-smoke bench-scale chaos all
+.PHONY: lint verify test bench bench-smoke bench-scale bench-flow chaos all
 
 all: lint test
 
@@ -61,3 +61,13 @@ bench-smoke:
 bench-scale:
 	$(PYTHON) benchmarks/microbench.py --scale
 	$(PYTHON) benchmarks/microbench.py --check --scale
+
+# Flow-control overload bench (PROTOCOL.md §12): regenerates
+# BENCH_flow.json at the repo root — fast producer vs slow consumer
+# through a gateway, flow control on vs off — and enforces the
+# bounded-queue ceiling (<= the credit window), the depth ratio
+# (uncontrolled >=4x deeper) and the goodput floor.
+# CI runs this as the bench-flow job.
+bench-flow:
+	$(PYTHON) benchmarks/microbench.py --flow
+	$(PYTHON) benchmarks/microbench.py --check --flow

@@ -17,12 +17,15 @@ Row schema (one JSON object per measurement)::
 it); ``wall_ms`` is the wall-clock cost of taking the measurement.
 
 The event-core scale sweep (timer wheel + run queues vs the pre-change
-single binary heap, PROTOCOL.md §11) writes ``BENCH_scale.json``.
+single binary heap, PROTOCOL.md §11) writes ``BENCH_scale.json``; the
+flow-control overload bench (credit windows and backpressure,
+PROTOCOL.md §12) writes ``BENCH_flow.json``.
 
 Usage::
 
     python benchmarks/microbench.py            # run + write + enforce
     python benchmarks/microbench.py --scale    # scale sweep only
+    python benchmarks/microbench.py --flow     # flow overload bench only
     python benchmarks/microbench.py --check    # validate the JSON only
 
 The run fails (exit 1) when the measured speedups fall below the
@@ -30,8 +33,9 @@ acceptance floors: >= 3x on header encode+decode, >= 2x on the
 3-gateway forwarding loop, >= 5x on repeated hot resolution (cache on
 vs off), >= 2x fewer Name-Server requests during an URSA cold start,
 >= 10x scheduler event throughput on the 10,000-module topology (>= 3x
-at 1,000) — or when the pinned E5-internet establishment-frame counts
-move.
+at 1,000), a flow-controlled receive queue capped at the credit window
+(with the uncontrolled run >= 4x deeper at >= 0.4x the goodput cost) —
+or when the pinned E5-internet establishment-frame counts move.
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ OUT_PATH = os.path.join(REPO, "BENCH_pipeline.json")
 NAMING_OUT_PATH = os.path.join(REPO, "BENCH_naming.json")
 RECOVERY_OUT_PATH = os.path.join(REPO, "BENCH_recovery.json")
 SCALE_OUT_PATH = os.path.join(REPO, "BENCH_scale.json")
+FLOW_OUT_PATH = os.path.join(REPO, "BENCH_flow.json")
 SCHEMA_KEYS = ("bench", "metric", "value", "unit", "virtual_ms", "wall_ms")
 
 HEADER_ENCODE_FLOOR = 3.0   # x, header encode+decode vs per-byte loops
@@ -92,6 +97,20 @@ SCALE_MESSAGES = 20000
 SCALE_CORPSES_PER_MODULE = 20   # RTO horizon (1 s) / think time (50 ms)
 SCALE_10K_FLOOR = 10.0   # x, drain events/sec at 10,000 modules
 SCALE_1K_FLOOR = 3.0     # x, drain events/sec at 1,000 modules
+
+# Flow-control bench (PROTOCOL.md §12): a fast producer floods a slow
+# (batch-draining) consumer across a gateway.  With flow control on,
+# the consumer's receive queue must hold at the credit window; with it
+# off, the queue peak is the whole backlog.  The floors gate both the
+# bounded-memory claim and the goodput cost of enforcing it.
+FLOW_BENCH_WINDOW = 16
+FLOW_BENCH_MESSAGES = 96
+FLOW_DEPTH_FLOOR = 4.0     # x, uncontrolled queue peak vs controlled ceiling
+FLOW_GOODPUT_FLOOR = 0.4   # x, controlled goodput vs uncontrolled
+FLOW_COUNTERS = (
+    "ip_credit_stalls", "ip_credit_probes", "ip_credit_grants",
+    "ip_credit_resyncs", "ali_send_blocked",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -796,6 +815,158 @@ def bench_recovery(rows: List[dict]) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Flow-control bench (PROTOCOL.md §12) -> BENCH_flow.json
+# ---------------------------------------------------------------------------
+
+def _drive_flow_overload(enabled: bool):
+    """A producer on one network floods a batch-draining consumer on
+    the other (through the gateway splice) with ``FLOW_BENCH_MESSAGES``
+    messages.  The consumer only drains when the producer is refused —
+    the worst polling-receiver shape — so with flow control off the
+    whole backlog piles up in its receive queue."""
+    from deployments import two_nets
+    from repro.errors import SendWouldBlock
+    from repro.ntcs.nucleus import NucleusConfig
+
+    bed = two_nets(config=NucleusConfig(
+        flow_control_enabled=enabled, flow_window=FLOW_BENCH_WINDOW))
+    prod = bed.module("flow.producer", "vax1")
+    cons = bed.module("flow.consumer", "apollo1")
+    addr = cons.ali.uadd
+    t0 = bed.now
+    delivered = 0
+    peak_queued = 0
+    for i in range(FLOW_BENCH_MESSAGES):
+        try:
+            prod.ali.send(addr, "numbers", {"a": i, "b": 0, "big": 0},
+                          block=False)
+        except SendWouldBlock:
+            bed.settle()
+            peak_queued = max(peak_queued, cons.ali.queued())
+            while cons.ali.queued():
+                cons.ali.receive(timeout=5.0)
+                delivered += 1
+            prod.ali.send(addr, "numbers", {"a": i, "b": 0, "big": 0})
+    bed.settle()
+    peak_queued = max(peak_queued, cons.ali.queued())
+    while cons.ali.queued():
+        cons.ali.receive(timeout=5.0)
+        delivered += 1
+    elapsed = bed.now - t0
+    return {
+        "delivered": delivered,
+        "elapsed": elapsed,
+        "peak_queued": peak_queued,
+        "rx_high_water": cons.nucleus.counters["lvc_rx_queue_high_water"],
+        "producer": prod.nucleus.counters.snapshot(),
+        "gateway_drops": sum(gw.credit_overruns_dropped
+                             for gw in bed.gateways.values()),
+    }
+
+
+def bench_flow(rows: List[dict]) -> List[str]:
+    """The §12 backpressure contract, measured: queue ceiling and
+    goodput with flow control on vs the same overload with it off.
+    Returns floor violations."""
+    on = _drive_flow_overload(True)
+    off = _drive_flow_overload(False)
+
+    ceiling = on["rx_high_water"]
+    peak_off = off["peak_queued"]
+    depth_ratio = peak_off / max(1, ceiling)
+    goodput_on = on["delivered"] / on["elapsed"]
+    goodput_off = off["delivered"] / off["elapsed"]
+    goodput_ratio = goodput_on / goodput_off
+
+    rows.append(row("flow", "window", FLOW_BENCH_WINDOW, "messages"))
+    rows.append(row("flow", "messages", FLOW_BENCH_MESSAGES, "messages"))
+    rows.append(row("flow", "queue_ceiling_on", ceiling, "messages"))
+    rows.append(row("flow", "queue_peak_off", peak_off, "messages"))
+    rows.append(row("flow", "depth_ratio", depth_ratio, "x"))
+    rows.append(row("flow", "delivered_on", on["delivered"], "messages",
+                    virtual_ms=on["elapsed"] * 1000.0))
+    rows.append(row("flow", "delivered_off", off["delivered"], "messages",
+                    virtual_ms=off["elapsed"] * 1000.0))
+    rows.append(row("flow", "goodput_on", goodput_on, "messages/s",
+                    virtual_ms=on["elapsed"] * 1000.0))
+    rows.append(row("flow", "goodput_off", goodput_off, "messages/s",
+                    virtual_ms=off["elapsed"] * 1000.0))
+    rows.append(row("flow", "goodput_ratio", goodput_ratio, "x"))
+    rows.append(row("flow", "gateway_overruns_dropped",
+                    on["gateway_drops"], "messages"))
+    for name in FLOW_COUNTERS:
+        rows.append(row("flow", name, on["producer"].get(name, 0), "events"))
+    for name in FLOW_COUNTERS:
+        rows.append(row("flow", f"{name}_off",
+                        off["producer"].get(name, 0), "events"))
+
+    failures = []
+    if ceiling > FLOW_BENCH_WINDOW:
+        failures.append(
+            f"flow-on queue ceiling {ceiling} exceeds the "
+            f"{FLOW_BENCH_WINDOW}-message window"
+        )
+    if on["delivered"] != FLOW_BENCH_MESSAGES:
+        failures.append(
+            f"flow-on run delivered {on['delivered']} of "
+            f"{FLOW_BENCH_MESSAGES} messages"
+        )
+    if depth_ratio < FLOW_DEPTH_FLOOR:
+        failures.append(
+            f"uncontrolled/controlled queue-depth ratio "
+            f"{depth_ratio:.2f}x < {FLOW_DEPTH_FLOOR}x floor"
+        )
+    if goodput_ratio < FLOW_GOODPUT_FLOOR:
+        failures.append(
+            f"flow-on goodput {goodput_ratio:.2f}x of uncontrolled "
+            f"< {FLOW_GOODPUT_FLOOR}x floor"
+        )
+    if sum(off["producer"].get(name, 0) for name in FLOW_COUNTERS):
+        failures.append("flow-off run produced credit traffic")
+    return failures
+
+
+def check_flow_floors(path: str) -> List[str]:
+    """Re-enforce the flow floors from an existing BENCH_flow.json
+    (the ``--check`` side of the contract)."""
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    values = {entry["metric"]: entry["value"] for entry in rows
+              if isinstance(entry, dict) and entry.get("bench") == "flow"}
+    problems = []
+    for metric in ("window", "messages", "queue_ceiling_on",
+                   "delivered_on", "depth_ratio", "goodput_ratio"):
+        if metric not in values:
+            problems.append(f"{path}: missing {metric} row")
+    if problems:
+        return problems
+    if values["queue_ceiling_on"] > values["window"]:
+        problems.append(
+            f"{path}: queue_ceiling_on = {values['queue_ceiling_on']} "
+            f"exceeds the {values['window']}-message window"
+        )
+    if values["delivered_on"] != values["messages"]:
+        problems.append(
+            f"{path}: delivered_on = {values['delivered_on']} != "
+            f"{values['messages']} messages sent"
+        )
+    if values["depth_ratio"] < FLOW_DEPTH_FLOOR:
+        problems.append(
+            f"{path}: depth_ratio = {values['depth_ratio']:.2f}x "
+            f"< {FLOW_DEPTH_FLOOR}x floor"
+        )
+    if values["goodput_ratio"] < FLOW_GOODPUT_FLOOR:
+        problems.append(
+            f"{path}: goodput_ratio = {values['goodput_ratio']:.2f}x "
+            f"< {FLOW_GOODPUT_FLOOR}x floor"
+        )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Schema validation (--check)
 # ---------------------------------------------------------------------------
 
@@ -848,12 +1019,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
                         help="validate BENCH_pipeline.json, "
-                             "BENCH_naming.json, BENCH_recovery.json and "
-                             "BENCH_scale.json (schema + scale floors), "
-                             "then exit")
+                             "BENCH_naming.json, BENCH_recovery.json, "
+                             "BENCH_scale.json and BENCH_flow.json "
+                             "(schema + scale/flow floors), then exit")
     parser.add_argument("--scale", action="store_true",
                         help="run only the event-core scale sweep "
                              "(BENCH_scale.json); with --check, validate "
+                             "only that file")
+    parser.add_argument("--flow", action="store_true",
+                        help="run only the flow-control overload bench "
+                             "(BENCH_flow.json); with --check, validate "
                              "only that file")
     parser.add_argument("--out", default=OUT_PATH,
                         help="pipeline output path (default: repo root)")
@@ -863,17 +1038,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="recovery output path (default: repo root)")
     parser.add_argument("--scale-out", default=SCALE_OUT_PATH,
                         help="scale output path (default: repo root)")
+    parser.add_argument("--flow-out", default=FLOW_OUT_PATH,
+                        help="flow output path (default: repo root)")
     args = parser.parse_args(argv)
 
     if args.check:
-        paths = ((args.scale_out,) if args.scale
-                 else (args.out, args.naming_out, args.recovery_out,
-                       args.scale_out))
+        if args.scale:
+            paths = (args.scale_out,)
+        elif args.flow:
+            paths = (args.flow_out,)
+        else:
+            paths = (args.out, args.naming_out, args.recovery_out,
+                     args.scale_out, args.flow_out)
         problems = []
         for path in paths:
             found = validate(path)
             if path == args.scale_out and not found:
                 found = check_scale_floors(path)
+            if path == args.flow_out and not found:
+                found = check_flow_floors(path)
             for problem in found:
                 print(f"schema violation: {problem}", file=sys.stderr)
             print(f"{path}: " + ("INVALID" if found else "ok"))
@@ -889,6 +1072,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         for failure in scale_failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if scale_failures else 0
+
+    if args.flow:
+        flow_rows: List[dict] = []
+        flow_failures = bench_flow(flow_rows)
+        _write_rows(args.flow_out, flow_rows)
+        flow_failures.extend(
+            f"schema violation: {p}" for p in validate(args.flow_out))
+        for failure in flow_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if flow_failures else 0
 
     rows: List[dict] = []
     header_speedup = bench_header_codec(rows)
@@ -910,6 +1103,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale_rows: List[dict] = []
     scale_failures = bench_scale(scale_rows)
     _write_rows(args.scale_out, scale_rows)
+
+    flow_rows: List[dict] = []
+    flow_failures = bench_flow(flow_rows)
+    _write_rows(args.flow_out, flow_rows)
 
     failures = []
     if header_speedup < HEADER_ENCODE_FLOOR:
@@ -935,8 +1132,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures.extend(e5_failures)
     failures.extend(recovery_failures)
     failures.extend(scale_failures)
+    failures.extend(flow_failures)
     for path in (args.out, args.naming_out, args.recovery_out,
-                 args.scale_out):
+                 args.scale_out, args.flow_out):
         failures.extend(f"schema violation: {p}" for p in validate(path))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -7,6 +7,7 @@ to (rare) establishment.  Ablation: the first-hop route cache.
 """
 
 from deployments import chain_nets, echo_server
+from repro.util.counters import IP_CREDIT_STALLS, LVC_RX_QUEUE_HIGH_WATER
 
 
 def _chain_metrics(hops):
@@ -36,6 +37,13 @@ def _chain_metrics(hops):
                     for gw in bed.gateways.values())
     deferred = sum(gw.checksum_verifies_deferred
                    for gw in bed.gateways.values())
+    # Queueing under flow control (PROTOCOL.md §12): a call/reply
+    # workload consumes as it goes, so the per-LVC receive queues
+    # never build and no sender ever stalls for credit.
+    rx_high_water = max(mod.nucleus.counters[LVC_RX_QUEUE_HIGH_WATER]
+                        for mod in bed.modules.values())
+    credit_stalls = sum(mod.nucleus.counters[IP_CREDIT_STALLS]
+                        for mod in bed.modules.values())
     return bed, client, uadd, {
         "establish_ms": establish_time * 1000,
         "establish_frames": establish_frames,
@@ -44,6 +52,8 @@ def _chain_metrics(hops):
         "topology_queries": topo,
         "frames_zero_copy": zero_copy,
         "checksum_deferred": deferred,
+        "rx_high_water": rx_high_water,
+        "credit_stalls": credit_stalls,
     }
 
 
@@ -60,12 +70,13 @@ def test_bench_internet(benchmark, report):
             f"{metrics['steady_ms']:.2f}",
             metrics["inter_gw_control"],
             metrics["topology_queries"],
+            f"{metrics['rx_high_water']}/{metrics['credit_stalls']}",
         ))
     report.table(
         "E5-internet: circuits chained through k gateways",
         ["gateways", "establish virtual-ms", "establish frames",
          "steady call virtual-ms", "inter-gw control msgs",
-         "topology queries"],
+         "topology queries", "rx queue high-water / credit stalls"],
         rows,
     )
     # Shape claims: establishment and steady latency grow with hops;
@@ -75,6 +86,10 @@ def test_bench_internet(benchmark, report):
     assert all(a < b for a, b in zip(establish, establish[1:]))
     assert all(a <= b for a, b in zip(steady, steady[1:]))
     assert all(results[h][3]["inter_gw_control"] == 0 for h in results)
+    # Flow control is on by default and must be free here: a call/reply
+    # workload consumes as it goes, so no queue builds and no stall.
+    assert all(results[h][3]["credit_stalls"] == 0 for h in results)
+    assert all(results[h][3]["rx_high_water"] == 0 for h in results)
     report.note(
         "Establishment cost grows with chain length while no gateway "
         "ever exchanges a routing/control message with another gateway "

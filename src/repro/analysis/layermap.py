@@ -100,6 +100,7 @@ MODULE_OVERRIDES: Dict[str, str] = {
     "repro.ntcs.gateway": "gateway",
     "repro.ntcs.lcm": "lcm",
     "repro.ntcs.iplayer": "ip",
+    "repro.ntcs.flow": "ip",
     "repro.ntcs.ndlayer": "nd",
     "repro.ntcs.stdif": "nd",
     # shared NTCS vocabulary

@@ -29,11 +29,13 @@ from repro.errors import (
     BadParameter,
     NoSuchName,
     NotRegistered,
+    SendWouldBlock,
     UnknownMessageType,
 )
 from repro.naming.protocol import NameRecord
 from repro.ntcs.address import Address
 from repro.ntcs.lcm import IncomingMessage
+from repro.util.counters import ALI_SEND_BLOCKED, IP_CREDIT_STALLS
 
 
 class AliLayer:
@@ -129,14 +131,35 @@ class AliLayer:
 
     # -- basic communication primitives -----------------------------------------
 
-    def send(self, dst, type_name: str, values: Optional[dict] = None) -> None:
-        """Asynchronous send: returns once the message is on its way."""
+    def send(self, dst, type_name: str, values: Optional[dict] = None,
+             block: bool = True) -> None:
+        """Send one message; returns once it is handed to the wire.
+
+        "Asynchronous" here means no reply is awaited — *not* that the
+        primitive cannot block.  Under flow control (PROTOCOL.md §12)
+        a sender that has exhausted the destination circuit's credit
+        window is parked on the run queue until the receiver consumes;
+        with ``block=False`` it raises :class:`SendWouldBlock` at once
+        instead, leaving the message unsent.  Either outcome is counted
+        as ``ali_send_blocked``.  With ``flow_control_enabled=False``
+        the send never waits — the receiver buffers without limit."""
         dst = self._check_dst(dst)
         self._check_type(type_name)
         values = self._check_values(values)
+        counters = self.nucleus.counters
         with self.nucleus.enter(self.LAYER, "send", caller="application",
                                 reason=type_name):
-            self.nucleus.lcm.send(dst, type_name, values)
+            stalls_before = counters[IP_CREDIT_STALLS]
+            try:
+                self.nucleus.lcm.send(dst, type_name, values, block=block)
+            except SendWouldBlock:
+                counters.incr(ALI_SEND_BLOCKED)
+                raise
+            stalled = counters[IP_CREDIT_STALLS] - stalls_before
+            if stalled:
+                # The send went through, but only after parking the
+                # caller for credit at least once.
+                counters.incr(ALI_SEND_BLOCKED, stalled)
 
     def call(self, dst, type_name: str, values: Optional[dict] = None,
              timeout: Optional[float] = None) -> IncomingMessage:
@@ -181,7 +204,9 @@ class AliLayer:
 
     def datagram(self, dst, type_name: str, values: Optional[dict] = None) -> bool:
         """Best-effort connectionless send (the LCM's connectionless
-        protocol)."""
+        protocol).  Never blocks for credit: an out-of-credit or
+        overloaded circuit drops the datagram (counted as
+        ``drop_connectionless``) and this returns False."""
         dst = self._check_dst(dst)
         self._check_type(type_name)
         values = self._check_values(values)
@@ -201,6 +226,15 @@ class AliLayer:
     def my_address(self) -> Address:
         """The module's current NTCS address (TAdd until registered)."""
         return self.nucleus.self_addr
+
+    def queued(self) -> int:
+        """Messages waiting in this module's receive queue.  The queue
+        is bounded only by flow control (PROTOCOL.md §12): senders stall
+        once their circuit's window is spent, so the depth a polling
+        receiver can accumulate is capped at roughly one window per
+        sending circuit — unless ``flow_control_enabled=False``, in
+        which case it grows without limit."""
+        return self.nucleus.lcm.queued()
 
     def ping_name_server(self) -> bool:
         """True when the naming service answers (utility primitive)."""

@@ -67,6 +67,30 @@ def shift_decode_u32s(data: Union[bytes, memoryview], count: int,
     return list(_codec(count).unpack_from(data, offset))
 
 
+# Credit words (PROTOCOL.md §12).  Flow control piggybacks a cumulative
+# credit counter in the header aux word.  Aux zero has always meant "no
+# auxiliary information" on DATA frames, so the encoding must never
+# produce zero: bit 31 is a validity marker and the low 31 bits carry
+# the counter.  A frame from a flow-disabled sender keeps aux == 0 and
+# decodes as None — the ablation stays byte-identical off the wire.
+CREDIT_VALID = 0x80000000
+CREDIT_MASK = 0x7FFFFFFF
+
+
+def shift_encode_credit(count: int) -> int:
+    """Encode a cumulative credit counter into a nonzero aux word."""
+    return CREDIT_VALID | (count & CREDIT_MASK)
+
+
+def shift_decode_credit(word: int) -> Union[int, None]:
+    """Decode an aux word into a credit counter, or None when the word
+    carries no credit information (flow control off, or a pre-flow
+    sender)."""
+    if word & CREDIT_VALID:
+        return word & CREDIT_MASK
+    return None
+
+
 def split_u64(value: int) -> Tuple[int, int]:
     """Split a 64-bit value into (high, low) 32-bit halves for headers
     built from 4-byte integers."""

@@ -170,6 +170,14 @@ class ReplyTimeout(AliError):
     """A synchronous call did not receive its reply within the deadline."""
 
 
+class SendWouldBlock(AliError):
+    """A non-blocking send found the destination IVC out of flow-control
+    credit (PROTOCOL.md §12): the receiver has not consumed enough of
+    what was already sent.  The message was *not* transmitted.  Retry
+    after backing off, or call with ``block=True`` to park on the run
+    queue until credit returns."""
+
+
 class NotRegistered(AliError):
     """A primitive requiring registration was invoked before the module
     registered itself with the naming service."""

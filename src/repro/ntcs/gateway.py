@@ -39,7 +39,30 @@ from repro.ntcs.iplayer import MAX_HOPS
 from repro.ntcs.ndlayer import Lvc
 from repro.ntcs.nucleus import Nucleus, NucleusConfig
 from repro.ntcs.protocol import T_IVC_OPEN
-from repro.util.counters import GATEWAY_CHECKSUM_VERIFIES_DEFERRED
+from repro.util.counters import (
+    GATEWAY_CHECKSUM_VERIFIES_DEFERRED,
+    GATEWAY_CREDIT_CLAMPS,
+    GATEWAY_CREDIT_DROPS,
+)
+
+
+class _SpliceCredit:
+    """What one spliced LVC's direction has shown the gateway: frames
+    it debited through, and the cumulative counters gleaned from the
+    headers (PROTOCOL.md §12).  Dies with the splice — a re-established
+    circuit starts a fresh ledger, matching the endpoints' fresh
+    :class:`~repro.ntcs.flow.FlowState`."""
+
+    __slots__ = ("debits", "sent_seen", "consumed_seen")
+
+    def __init__(self):
+        # Flow-debited DATA frames forwarded from this leg.
+        self.debits = 0
+        # The sender's cumulative tx counter, from credit probes.
+        self.sent_seen = 0
+        # The far receiver's cumulative consumed counter, from
+        # advertisements arriving on the *other* leg.
+        self.consumed_seen = 0
 
 
 class Gateway:
@@ -76,6 +99,10 @@ class Gateway:
             self.stacks[network] = nucleus
         # inbound/outbound pairing of pass-through circuits.
         self._splices: Dict[Lvc, Tuple[Nucleus, Lvc]] = {}
+        # Per-leg credit observations for flow enforcement on the
+        # splice path (PROTOCOL.md §12); all stacks share one config.
+        self._splice_credit: Dict[Lvc, _SpliceCredit] = {}
+        self.config = next(iter(self.stacks.values())).config
         self.uadd: Optional[Address] = None
         self.name: str = f"gateway.{process.name}"
         # E5's absence proof: never incremented anywhere.
@@ -89,6 +116,9 @@ class Gateway:
         # and header-checksum verifications this hop did *not* perform.
         self.frames_forwarded_zero_copy = 0
         self.checksum_verifies_deferred = 0
+        # Flow enforcement on the splice path (PROTOCOL.md §12).
+        self.credit_overruns_dropped = 0
+        self.credit_clamps = 0
 
     # -- registration (Sec. 4.1: "their logical name and connected
     # networks are registered with the naming service; the same as any
@@ -161,6 +191,8 @@ class Gateway:
             return False
         other_nucleus, other_lvc = splice
         self._splices.pop(other_lvc, None)
+        self._splice_credit.pop(lvc, None)
+        self._splice_credit.pop(other_lvc, None)
         self.teardowns_propagated += 1
         close_msg = m.Msg(
             kind=m.IVC_CLOSE,
@@ -311,6 +343,10 @@ class Gateway:
         if header.kind == m.IVC_CLOSE:
             return False
         out_nucleus, out_lvc = splice
+        raw, forward = self._enforce_credit(
+            in_lvc, out_nucleus, out_lvc, header, raw)
+        if not forward:
+            return True  # consumed: dropped by flow enforcement
         self.messages_forwarded += 1
         self.frames_forwarded_zero_copy += 1
         # This hop neither verified the header sum nor re-serialized:
@@ -326,12 +362,64 @@ class Gateway:
             out_nucleus.counters.incr("gateway_messages_dropped")
         return True
 
+    def _enforce_credit(self, in_lvc: Lvc, out_nucleus: Nucleus,
+                        out_lvc: Lvc, header: m.HeaderView,
+                        raw: bytes) -> Tuple[bytes, bool]:
+        """Credit bookkeeping on the zero-copy path (PROTOCOL.md §12).
+
+        The gateway is not a flow endpoint — it keeps no queue of its
+        own to defend — but it can police the circuits it splices from
+        the header words alone: a sender that has overrun its window
+        twice over (a flow-disabled or misbehaving stack flooding a
+        stalled receiver) gets its excess dropped here instead of
+        accumulating downstream, and an advertisement inflated beyond
+        anything ever sent is patched down in place — aux and checksum
+        words only, no Msg materialized — so forged credit cannot mint
+        window the sender never earned.  Returns the (possibly
+        patched) frame and whether to forward it."""
+        if not self.config.flow_control_enabled:
+            return raw, True
+        state = self._splice_credit.get(in_lvc)
+        if state is None:
+            state = self._splice_credit[in_lvc] = _SpliceCredit()
+        if header.kind == m.CREDIT_PROBE:
+            sent = header.credit
+            if sent is not None and sent > state.sent_seen:
+                state.sent_seen = sent
+            return raw, True
+        advertised = header.credit
+        if advertised is not None and header.kind in (m.DATA, m.CREDIT_GRANT):
+            # An advertisement arriving on this leg covers traffic of
+            # the opposite direction: frames that arrived on out_lvc.
+            peer = self._splice_credit.get(out_lvc)
+            if peer is None:
+                peer = self._splice_credit[out_lvc] = _SpliceCredit()
+            bound = max(peer.debits, peer.sent_seen)
+            if advertised > bound:
+                raw = m.patch_frame_aux(raw, m.encode_credit(bound))
+                self.credit_clamps += 1
+                out_nucleus.counters.incr(GATEWAY_CREDIT_CLAMPS)
+                advertised = bound
+            if advertised > peer.consumed_seen:
+                peer.consumed_seen = advertised
+        if (header.kind == m.DATA and not header.flags & m.FLAG_INTERNAL
+                and not header.flags & m.FLAG_IS_REPLY):
+            if (state.debits - state.consumed_seen
+                    >= 2 * self.config.flow_window):
+                self.credit_overruns_dropped += 1
+                out_nucleus.counters.incr(GATEWAY_CREDIT_DROPS)
+                return raw, False
+            state.debits += 1
+        return raw, True
+
     def _forward(self, in_lvc: Lvc, splice: Tuple[Nucleus, Lvc], msg: m.Msg) -> None:
         out_nucleus, out_lvc = splice
         if msg.kind == m.IVC_CLOSE:
             # Propagate the close and dismantle the splice (Sec. 4.3).
             self._splices.pop(in_lvc, None)
             self._splices.pop(out_lvc, None)
+            self._splice_credit.pop(in_lvc, None)
+            self._splice_credit.pop(out_lvc, None)
             self.teardowns_propagated += 1
             try:
                 out_nucleus.nd.send(out_lvc, msg)

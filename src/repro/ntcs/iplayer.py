@@ -31,20 +31,37 @@ from repro.conversion.modes import encode_values
 from repro.errors import (
     AddressFault,
     ChannelClosed,
+    DestinationUnavailable,
     NoSuchAddress,
     RouteNotFound,
+    SendWouldBlock,
 )
 from repro.ntcs import message as m
 from repro.ntcs.address import Address, blob_network
+from repro.ntcs.flow import FlowState
 from repro.ntcs.ndlayer import Lvc
 from repro.ntcs.protocol import (
+    T_CREDIT_GRANT,
+    T_CREDIT_PROBE,
     T_IVC_OPEN,
     T_IVC_OPEN_ACK,
     T_IVC_OPEN_NAK,
 )
+from repro.util.counters import (
+    IP_CREDIT_GRANTS,
+    IP_CREDIT_PROBES,
+    IP_CREDIT_RESYNCS,
+    IP_CREDIT_STALLS,
+    LVC_RX_QUEUE_HIGH_WATER,
+)
 from repro.util.dispatch import handles
 
 MAX_HOPS = 8
+
+# How many credit probes a zero-credit sender issues (each waiting
+# ``flow_probe_timeout`` virtual seconds for a grant) before the send
+# fails as destination-unavailable (PROTOCOL.md §12).
+FLOW_PROBE_RETRIES = 3
 
 # The IVC endpoint machine, model-checked by ntcsverify (pure literal).
 # Anchored: the state names must match the ``.state`` strings this
@@ -52,35 +69,69 @@ MAX_HOPS = 8
 # already in OPEN; a chained one starts in OPENING and leaves it on the
 # end-to-end ACK/NAK, on the open timeout (which runs the normal close
 # path), or on an LVC fault underneath.
-PROTOCOL_MACHINE = {
-    "name": "ivc-endpoint",
-    "anchor": True,
-    "initial": "OPENING",
-    "terminal": ("CLOSED", "FAILED"),
-    "states": {
-        "OPENING": {
-            "waits": True,
-            "edges": (
-                {"event": "recv IVC_OPEN_ACK", "next": "OPEN"},
-                {"event": "recv IVC_OPEN_NAK", "next": "FAILED"},
-                {"event": "timeout open_timeout", "next": "CLOSED"},
-                {"event": "recv IVC_CLOSE", "next": "FAILED"},
-                {"event": "local lvc_fault", "next": "FAILED"},
-            ),
+# Alongside it, the ivc-flow machine declares the sender half of the
+# credit protocol (PROTOCOL.md §12): every send grows the in-flight
+# ledger, every advertisement drains it, and a zero-credit sender
+# stalls behind a bounded, timed probe loop — never an unbounded wait.
+PROTOCOL_MACHINES = (
+    {
+        "name": "ivc-endpoint",
+        "anchor": True,
+        "initial": "OPENING",
+        "terminal": ("CLOSED", "FAILED"),
+        "states": {
+            "OPENING": {
+                "waits": True,
+                "edges": (
+                    {"event": "recv IVC_OPEN_ACK", "next": "OPEN"},
+                    {"event": "recv IVC_OPEN_NAK", "next": "FAILED"},
+                    {"event": "timeout open_timeout", "next": "CLOSED"},
+                    {"event": "recv IVC_CLOSE", "next": "FAILED"},
+                    {"event": "local lvc_fault", "next": "FAILED"},
+                ),
+            },
+            "OPEN": {
+                "edges": (
+                    {"event": "send DATA", "next": "OPEN", "progress": True},
+                    {"event": "recv DATA", "next": "OPEN", "progress": True},
+                    {"event": "recv IVC_CLOSE", "next": "CLOSED"},
+                    {"event": "local close", "next": "CLOSED"},
+                    {"event": "local lvc_fault", "next": "CLOSED"},
+                ),
+            },
+            "FAILED": {},
+            "CLOSED": {},
         },
-        "OPEN": {
-            "edges": (
-                {"event": "send DATA", "next": "OPEN", "progress": True},
-                {"event": "recv DATA", "next": "OPEN", "progress": True},
-                {"event": "recv IVC_CLOSE", "next": "CLOSED"},
-                {"event": "local close", "next": "CLOSED"},
-                {"event": "local lvc_fault", "next": "CLOSED"},
-            ),
-        },
-        "FAILED": {},
-        "CLOSED": {},
     },
-}
+    {
+        "name": "ivc-flow",
+        "initial": "READY",
+        "terminal": ("CLOSED",),
+        "states": {
+            "READY": {
+                "edges": (
+                    {"event": "send DATA", "next": "READY",
+                     "queue": "+inflight", "progress": True},
+                    {"event": "recv CREDIT_GRANT", "next": "READY",
+                     "queue": "-inflight", "progress": True},
+                    {"event": "local credit_exhausted", "next": "STALLED"},
+                    {"event": "local close", "next": "CLOSED"},
+                ),
+            },
+            "STALLED": {
+                "waits": True,
+                "edges": (
+                    {"event": "recv CREDIT_GRANT", "next": "READY",
+                     "queue": "-inflight", "progress": True},
+                    {"event": "timeout flow_probe_timeout", "next": "STALLED",
+                     "bounded": "FLOW_PROBE_RETRIES"},
+                    {"event": "local give_up", "next": "CLOSED"},
+                ),
+            },
+            "CLOSED": {},
+        },
+    },
+)
 
 
 class Ivc:
@@ -97,6 +148,10 @@ class Ivc:
         self.direct = direct
         self.state = "OPEN" if direct else "OPENING"
         self.nak_reason = ""
+        # Credit ledger (PROTOCOL.md §12); None when flow control is
+        # off.  Installed by the IP-Layer at construction, never
+        # carried across a reopen — a fresh circuit starts fresh.
+        self.flow: Optional[FlowState] = None
 
     @property
     def open(self) -> bool:
@@ -164,6 +219,7 @@ class IpLayer:
             if plan.direct:
                 lvc = self.nd.open_lvc(dst, plan.blob, reason="direct ivc")
                 ivc = Ivc(lvc, peer_addr=lvc.peer_addr or dst, direct=True)
+                self._attach_flow(ivc)
                 self._by_lvc[lvc] = ivc
                 nucleus.counters.incr("ivc_direct_opened")
                 return ivc
@@ -183,6 +239,7 @@ class IpLayer:
                     self._prime_index += 1
                 raise AddressFault(dst, f"first-hop gateway unreachable: {exc}")
             ivc = Ivc(lvc, peer_addr=dst, direct=False)
+            self._attach_flow(ivc)
             self._by_lvc[lvc] = ivc
             open_msg = m.Msg(
                 kind=m.IVC_OPEN,
@@ -344,7 +401,8 @@ class IpLayer:
     # -- data path ---------------------------------------------------------------
 
     def send_values(self, ivc: Ivc, msg: m.Msg, type_id: int, values: dict,
-                    force_mode: Optional[int] = None) -> None:
+                    force_mode: Optional[int] = None,
+                    block: bool = True) -> None:
         """Encode application values for ``ivc``'s end-to-end peer
         machine type, then transmit."""
         nucleus = self.nucleus
@@ -356,13 +414,197 @@ class IpLayer:
         )
         msg.set_mode(mode)
         msg.body = wire
-        self.send_raw(ivc, msg)
+        self.send_raw(ivc, msg, block=block)
 
-    def send_raw(self, ivc: Ivc, msg: m.Msg) -> None:
-        """Transmit an already-encoded message over an IVC."""
+    def send_raw(self, ivc: Ivc, msg: m.Msg, block: bool = True) -> None:
+        """Transmit an already-encoded message over an IVC.
+
+        Flow control (PROTOCOL.md §12) runs here.  An application DATA
+        message (not internal, not a reply) debits one credit; at zero
+        credit the sender stalls on the run queue behind a bounded
+        probe loop — or, with ``block=False`` or on a connectionless
+        message, reports :class:`SendWouldBlock` instead of waiting.
+        Every non-internal DATA message also piggybacks this end's
+        cumulative consumed counter in the aux word, so steady
+        bidirectional traffic needs no standalone credit frames at
+        all."""
         if not ivc.open:
             raise ChannelClosed(f"{ivc} is not open")
+        flow = ivc.flow
+        if flow is not None and msg.kind == m.DATA and not msg.internal:
+            if not msg.is_reply:
+                if flow.credit <= 0:
+                    if msg.connectionless or not block:
+                        raise SendWouldBlock(
+                            f"no flow-control credit on {ivc} "
+                            f"({flow.tx_sent - flow.tx_consumed_seen} of "
+                            f"{flow.window} unconsumed)"
+                        )
+                    self._stall_for_credit(ivc, flow)
+                flow.debit()
+            # Replies piggyback too: the reverse half of a call is the
+            # cheapest carrier for this end's consumed counter.
+            msg.aux = m.encode_credit(flow.advertised())
         self.nd.send(ivc.lvc, msg)
+
+    # -- flow control (PROTOCOL.md §12) -------------------------------------------
+
+    def _attach_flow(self, ivc: Ivc) -> None:
+        cfg = self.nucleus.config
+        if cfg.flow_control_enabled:
+            ivc.flow = FlowState(cfg.flow_window)
+
+    def _stall_for_credit(self, ivc: Ivc, flow: FlowState) -> None:
+        """Park the sending module until the peer advertises credit:
+        probe, then pump the run queue under the probe timeout — the
+        reproduction's "block the caller, keep the system running"
+        idiom (Sec. 6) — for at most FLOW_PROBE_RETRIES rounds."""
+        nucleus = self.nucleus
+        nucleus.counters.incr(IP_CREDIT_STALLS)
+        flow.stalls += 1
+        for _ in range(FLOW_PROBE_RETRIES):
+            self._send_probe(ivc, flow)
+            nucleus.scheduler.pump_until(
+                lambda: flow.credit > 0 or not ivc.open,
+                timeout=nucleus.config.flow_probe_timeout,
+                what=f"credit on {ivc}",
+            )
+            if not ivc.open:
+                raise ChannelClosed(f"{ivc} closed while stalled for credit")
+            if flow.credit > 0:
+                return
+        raise DestinationUnavailable(
+            f"no flow-control credit on {ivc} after {FLOW_PROBE_RETRIES} "
+            f"probes ({flow.tx_sent - flow.tx_consumed_seen} unconsumed)"
+        )
+
+    def _send_probe(self, ivc: Ivc, flow: FlowState) -> None:
+        """Tell the peer our cumulative sent counter and ask where its
+        consumed counter is.  The aux word carries the same counter so
+        gateways can track the direction's high watermark."""
+        nucleus = self.nucleus
+        probe = m.Msg(
+            kind=m.CREDIT_PROBE,
+            src=nucleus.self_addr,
+            dst=ivc.peer_addr or nucleus.self_addr,
+            flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+            aux=m.encode_credit(flow.tx_sent),
+        )
+        probe.type_id, probe.body = nucleus.pack_internal(
+            "credit_probe", {"sent": flow.tx_sent}
+        )
+        self.nd.send(ivc.lvc, probe)
+        nucleus.counters.incr(IP_CREDIT_PROBES)
+
+    def _send_grant(self, ivc: Ivc, flow: FlowState) -> None:
+        nucleus = self.nucleus
+        advertised = flow.advertised()
+        grant = m.Msg(
+            kind=m.CREDIT_GRANT,
+            src=nucleus.self_addr,
+            dst=ivc.peer_addr or nucleus.self_addr,
+            flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+            aux=m.encode_credit(advertised),
+        )
+        grant.type_id, grant.body = nucleus.pack_internal(
+            "credit_grant", {"consumed": advertised, "window": flow.window}
+        )
+        flow.grant_owed = False
+        self.nd.send(ivc.lvc, grant)
+        nucleus.counters.incr(IP_CREDIT_GRANTS)
+
+    def _on_credit_grant(self, ivc: Ivc, msg: m.Msg) -> None:
+        flow = ivc.flow
+        if flow is None:
+            return
+        # Prefer the aux-word advertisement: that is the copy a gateway
+        # can clamp in place on the splice path (PROTOCOL.md §12), so
+        # honoring it keeps the enforcement end-to-end.  The body is
+        # the fallback for a grant whose aux was never stamped.
+        advertised = m.decode_credit(msg.aux)
+        if advertised is None:
+            values = self.nucleus.unpack_internal(T_CREDIT_GRANT, msg.body)
+            advertised = values["consumed"]
+        flow.on_advertised(advertised)
+
+    def _on_credit_probe(self, ivc: Ivc, msg: m.Msg) -> None:
+        nucleus = self.nucleus
+        values = nucleus.unpack_internal(T_CREDIT_PROBE, msg.body)
+        flow = ivc.flow
+        if flow is None:
+            # Flow control is off on this end but the peer runs it:
+            # answer with a full grant so a mixed deployment never
+            # wedges.  (The all-off ablation sees no probes at all, so
+            # its wire stays byte-identical.)
+            grant = m.Msg(
+                kind=m.CREDIT_GRANT,
+                src=nucleus.self_addr,
+                dst=ivc.peer_addr or nucleus.self_addr,
+                flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+                aux=m.encode_credit(values["sent"]),
+            )
+            grant.type_id, grant.body = nucleus.pack_internal(
+                "credit_grant", {"consumed": values["sent"],
+                                 "window": nucleus.config.flow_window}
+            )
+            self.nd.send(ivc.lvc, grant)
+            nucleus.counters.incr(IP_CREDIT_GRANTS)
+            return
+        flow.on_probe(values["sent"])
+        self._send_grant(ivc, flow)
+        if flow.rx_queued > nucleus.config.effective_flow_low_watermark():
+            # The grant could not have freed much: the receive queue is
+            # still deep.  Owe the peer an unsolicited grant for when
+            # consumption drains it past the low watermark.
+            flow.grant_owed = True
+
+    def note_arrival(self, ivc: Ivc, queued: bool) -> None:
+        """LCM hook: one flow-debited message arrived on ``ivc``;
+        ``queued`` when it entered the receive queue."""
+        flow = ivc.flow
+        if flow is None:
+            return
+        flow.on_arrival(queued)
+        if queued:
+            lvc = ivc.lvc
+            lvc.rx_depth += 1
+            if lvc.rx_depth > lvc.rx_high_water:
+                lvc.rx_high_water = lvc.rx_depth
+                self.nucleus.counters.record_max(
+                    LVC_RX_QUEUE_HIGH_WATER, lvc.rx_depth)
+
+    def note_consumed(self, ivc: Ivc, from_queue: bool = True) -> None:
+        """LCM hook: one flow-debited message was disposed of (handler
+        returned, ``receive()`` popped it, duplicate suppressed, or
+        overload-dropped).  Sends the owed grant once the queue drains
+        to the low watermark."""
+        flow = ivc.flow
+        if flow is None:
+            return
+        flow.on_consumed(from_queue)
+        if from_queue:
+            lvc = ivc.lvc
+            if lvc.rx_depth > 0:
+                lvc.rx_depth -= 1
+        if (flow.grant_owed and ivc.open
+                and flow.rx_queued
+                <= self.nucleus.config.effective_flow_low_watermark()):
+            self._send_grant(ivc, flow)
+
+    def resync_credit(self, ivc: Optional[Ivc]) -> None:
+        """After circuit repair (PROTOCOL.md §10): a freshly reopened
+        circuit carries a fresh ledger and needs nothing, but a circuit
+        that *survived* a fault window with messages in doubt must find
+        out which of them the peer actually consumed — probe, and let
+        the grant's loss reconciliation settle the ledger."""
+        if ivc is None:
+            return
+        flow = ivc.flow
+        if flow is None or not ivc.open:
+            return
+        if flow.tx_sent - flow.tx_consumed_seen > 1:
+            self._send_probe(ivc, flow)
+            self.nucleus.counters.incr(IP_CREDIT_RESYNCS)
 
     def close(self, ivc: Ivc, reason: str, notify: bool = True) -> None:
         """Close an IVC (optionally notifying the peer with IVC_CLOSE)."""
@@ -393,6 +635,7 @@ class IpLayer:
         # Until proven otherwise this inbound circuit is a direct IVC;
         # an IVC_OPEN arriving on it upgrades it to a chained endpoint.
         ivc = Ivc(lvc, peer_addr=lvc.peer_addr, direct=True)
+        self._attach_flow(ivc)
         self._by_lvc[lvc] = ivc
 
     def _on_lvc_message(self, lvc: Lvc, msg: m.Msg) -> None:
@@ -421,7 +664,18 @@ class IpLayer:
             ivc.state = "FAILED"
         elif msg.kind == m.IVC_CLOSE:
             self._teardown(ivc, "closed by remote")
+        elif msg.kind == m.CREDIT_GRANT:
+            self._on_credit_grant(ivc, msg)
+        elif msg.kind == m.CREDIT_PROBE:
+            self._on_credit_probe(ivc, msg)
         else:
+            flow = ivc.flow
+            if flow is not None and msg.kind == m.DATA and not msg.internal:
+                # Piggybacked advertisement: the peer's cumulative
+                # consumed counter rides the aux word of its DATA.
+                advertised = m.decode_credit(msg.aux)
+                if advertised is not None:
+                    flow.on_advertised(advertised)
             self._deliver_upcall(ivc, msg)
 
     def _on_ivc_open_as_endpoint(self, ivc: Ivc, msg: m.Msg) -> None:

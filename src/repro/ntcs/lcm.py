@@ -47,10 +47,12 @@ from repro.errors import (
     NoSuchAddress,
     ReplyTimeout,
     RouteNotFound,
+    SendWouldBlock,
 )
 from repro.ntcs import message as m
 from repro.ntcs.address import Address
 from repro.ntcs.iplayer import Ivc
+from repro.util.counters import DROP_CONNECTIONLESS
 from repro.util.idgen import SequenceGenerator
 
 # Conditions the send loop treats as "the address may be stale" — the
@@ -154,6 +156,10 @@ class IncomingMessage:
     connectionless: bool
     arrived_at: float
     mode: int
+    # The circuit the message arrived on, so whoever disposes of a
+    # queued message can credit it back (PROTOCOL.md §12).  None for
+    # messages that never touched the flow ledger.
+    ivc: Optional[Ivc] = None
 
 
 @dataclass
@@ -245,9 +251,14 @@ class LcmLayer:
         flags: int = 0,
         corr_id: int = 0,
         force_mode: Optional[int] = None,
+        block: bool = True,
     ) -> None:
         """Send one message; circuits are established (and relocation
-        performed) as needed.  Blocking until handed to the wire.
+        performed) as needed.  Blocking until handed to the wire —
+        which, under flow control (PROTOCOL.md §12), includes stalling
+        while the destination IVC is out of credit.  With
+        ``block=False`` a zero-credit circuit raises
+        :class:`SendWouldBlock` instead of stalling.
 
         When one relocation round exhausts — a mid-chain gateway died,
         or the naming service is briefly unreachable — circuit repair
@@ -267,7 +278,7 @@ class LcmLayer:
                 try:
                     target = self._send_round(
                         dst, entry, values, flags, corr_id, force_mode,
-                        repairing=round_no > 0,
+                        repairing=round_no > 0, block=block,
                     )
                     break
                 except (DestinationUnavailable, NameServerUnreachable) as exc:
@@ -289,6 +300,7 @@ class LcmLayer:
         corr_id: int,
         force_mode: Optional[int],
         repairing: bool,
+        block: bool = True,
     ) -> Address:
         """One Sec. 3.5 relocation round: bounded attempts, each failure
         running the address-fault handler.  Returns the final target on
@@ -305,7 +317,7 @@ class LcmLayer:
                     flags=flags, corr_id=corr_id,
                 )
                 self.ip.send_values(ivc, msg, entry.sdef.type_id, values,
-                                    force_mode=force_mode)
+                                    force_mode=force_mode, block=block)
             except _TRANSIENT as exc:
                 last_error = exc
                 self._drop_route(target)
@@ -323,6 +335,10 @@ class LcmLayer:
                 # completed repair (PROTOCOL.md §10).
                 self._faulted_targets.discard(target)
                 nucleus.counters.incr("lcm_circuit_repairs")
+                # Resynchronize credits (PROTOCOL.md §12): a circuit
+                # that survived the fault window may have frames in
+                # doubt between the ledgers.
+                self.ip.resync_credit(self._routes.get(target))
             return target
         raise DestinationUnavailable(
             f"send to {dst} failed after {self.MAX_SEND_ATTEMPTS} attempts: "
@@ -427,11 +443,20 @@ class LcmLayer:
     def datagram(self, dst: Address, type_name: str, values: dict,
                  flags: int = 0) -> bool:
         """The connectionless protocol: best-effort, never raises for
-        delivery problems.  Returns False when the send failed."""
+        delivery problems.  Returns False when the send failed.
+
+        Under flow control (PROTOCOL.md §12) a datagram never stalls:
+        at zero credit it is dropped at the sender — counted as
+        ``drop_connectionless`` — exactly as an overloaded receiver
+        drops it at the high watermark."""
         try:
             self.send(dst, type_name, values,
                       flags=flags | m.FLAG_CONNECTIONLESS)
             return True
+        except SendWouldBlock:
+            self.nucleus.counters.incr("datagrams_dropped")
+            self.nucleus.counters.incr(DROP_CONNECTIONLESS)
+            return False
         except (DestinationUnavailable, NoSuchAddress, RouteNotFound,
                 NoForwardingAddress, NameServerUnreachable):
             self.nucleus.counters.incr("datagrams_dropped")
@@ -446,7 +471,12 @@ class LcmLayer:
         )
         if not ok:
             raise ReplyTimeout(f"nothing received within {timeout}s")
-        return self._queue.popleft()
+        incoming = self._queue.popleft()
+        if incoming.ivc is not None:
+            # Credit the message back to its circuit (PROTOCOL.md §12):
+            # consumption is what lets the sender send again.
+            self.ip.note_consumed(incoming.ivc, from_queue=True)
+        return incoming
 
     def set_handler(self, handler: Optional[Callable[[IncomingMessage], None]]) -> None:
         """Install a synchronous message handler (server style).  While
@@ -556,6 +586,12 @@ class LcmLayer:
             effective_src = ivc.peer_addr
         if effective_src is not None:
             self._routes[effective_src] = ivc
+        # Flow accounting (PROTOCOL.md §12): every flow-debited arrival
+        # must be matched by exactly one consumption — at whichever
+        # disposal point the message reaches.  Replies and internal
+        # traffic were never debited by the sender.
+        flow_debited = (ivc.flow is not None and not msg.internal
+                        and not msg.is_reply)
         try:
             entry = nucleus.registry.get(msg.type_id)
             values = decode_body(
@@ -565,6 +601,9 @@ class LcmLayer:
         except Exception as exc:  # malformed bodies must not kill the pump
             nucleus.counters.incr("lcm_undecodable_messages")
             nucleus.log_error(f"undecodable message from {msg.src}: {exc}")
+            if flow_debited:
+                self.ip.note_arrival(ivc, queued=False)
+                self.ip.note_consumed(ivc, from_queue=False)
             return
         incoming = IncomingMessage(
             src=effective_src,
@@ -606,6 +645,12 @@ class LcmLayer:
             key = (effective_src, msg.corr_id)
             if key in self._served:
                 nucleus.counters.incr("lcm_duplicate_requests_suppressed")
+                if flow_debited:
+                    # Disposed without delivery; account before the
+                    # cached replay so the reply piggybacks the
+                    # up-to-date advertisement.
+                    self.ip.note_arrival(ivc, queued=False)
+                    self.ip.note_consumed(ivc, from_queue=False)
                 cached = self._served[key]
                 if cached is not None:
                     r_type, r_values, r_flags = cached
@@ -621,8 +666,29 @@ class LcmLayer:
         with nucleus.enter(self.LAYER, "deliver", caller="IP",
                            reason=entry.sdef.name):
             if self._handler is not None:
-                self._handler(incoming)
+                if flow_debited:
+                    self.ip.note_arrival(ivc, queued=False)
+                try:
+                    self._handler(incoming)
+                finally:
+                    if flow_debited:
+                        self.ip.note_consumed(ivc, from_queue=False)
             else:
+                if flow_debited:
+                    if (msg.connectionless and ivc.lvc is not None
+                            and ivc.lvc.rx_depth
+                            >= nucleus.config.effective_flow_high_watermark()):
+                        # Overload (PROTOCOL.md §12): connectionless
+                        # traffic is best-effort, so above the high
+                        # watermark it is dropped rather than queued —
+                        # that is what keeps per-LVC memory bounded
+                        # when the sender will not stall.
+                        nucleus.counters.incr(DROP_CONNECTIONLESS)
+                        self.ip.note_arrival(ivc, queued=False)
+                        self.ip.note_consumed(ivc, from_queue=False)
+                        return
+                    incoming.ivc = ivc
+                    self.ip.note_arrival(ivc, queued=True)
                 self._queue.append(incoming)
 
     def _on_fault(self, ivc: Ivc, reason: str) -> None:
@@ -661,7 +727,14 @@ class LcmLayer:
     # -- introspection ----------------------------------------------------
 
     def queued(self) -> int:
-        """Number of messages waiting in the receive queue."""
+        """Number of messages waiting in the receive queue.
+
+        The queue itself is unbounded in memory; what bounds it is flow
+        control (PROTOCOL.md §12): once the depth attributed to a
+        circuit's LVC passes the window, the sender runs out of credit
+        and stalls (or drops, for connectionless traffic) until this
+        side consumes.  With ``flow_control_enabled=False`` a slow
+        receiver buffers without limit."""
         return len(self._queue)
 
     def route_count(self) -> int:

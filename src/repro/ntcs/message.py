@@ -19,7 +19,9 @@ word  meaning
  7    message type id (conversion-registry key)
  8    correlation id (send/receive/reply matching)
  9    body length in bytes
-10    aux (hop count for IVC_OPEN; otherwise zero)
+10    aux (hop count for IVC_OPEN; cumulative credit counter on
+      DATA / CREDIT_GRANT / CREDIT_PROBE when flow control is on,
+      see PROTOCOL.md §12; otherwise zero)
 11    checksum: sum of words 0–10 mod 2^32
 ====  ==========================================================
 
@@ -40,7 +42,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.conversion.shiftmode import shift_decode_u32s, shift_encode_u32s
+from repro.conversion.shiftmode import (
+    shift_decode_credit,
+    shift_decode_u32s,
+    shift_encode_credit,
+    shift_encode_u32s,
+)
 from repro.errors import ProtocolError
 from repro.ntcs.address import Address
 
@@ -61,6 +68,8 @@ IVC_OPEN = 4
 IVC_OPEN_ACK = 5
 IVC_OPEN_NAK = 6
 IVC_CLOSE = 7
+CREDIT_GRANT = 8
+CREDIT_PROBE = 9
 
 KIND_NAMES = {
     DATA: "DATA",
@@ -70,6 +79,8 @@ KIND_NAMES = {
     IVC_OPEN_ACK: "IVC_OPEN_ACK",
     IVC_OPEN_NAK: "IVC_OPEN_NAK",
     IVC_CLOSE: "IVC_CLOSE",
+    CREDIT_GRANT: "CREDIT_GRANT",
+    CREDIT_PROBE: "CREDIT_PROBE",
 }
 
 # The declared wire handshake, checked by ntcsverify (pure literal —
@@ -88,6 +99,8 @@ WIRE_PROTOCOL = {
     "IVC_OPEN_NAK":  {"requires": ("open",),  "establishes": ()},
     "IVC_CLOSE":     {"requires": ("lvc",),   "establishes": ()},
     "DATA":          {"requires": ("lvc",),   "establishes": ()},
+    "CREDIT_GRANT":  {"requires": ("lvc",),   "establishes": ()},
+    "CREDIT_PROBE":  {"requires": ("lvc",),   "establishes": ()},
 }
 
 # -- flags -------------------------------------------------------------------
@@ -155,9 +168,29 @@ class HeaderView:
     def aux(self) -> int:
         return self._words[10]
 
+    @property
+    def credit(self) -> Optional[int]:
+        """The cumulative credit counter piggybacked in the aux word,
+        or None when the frame carries no credit information (flow
+        control off, or an aux word used for something else — gateways
+        only consult this on DATA/CREDIT_* kinds)."""
+        return shift_decode_credit(self._words[10])
+
     def checksum_ok(self) -> bool:
         """True when the checksum word matches the header sum."""
         return self._words[11] == sum(self._words[:11]) & 0xFFFFFFFF
+
+
+def encode_credit(count: int) -> int:
+    """Aux-word encoding of a cumulative credit counter (nonzero, so a
+    flow-disabled sender's aux == 0 is unambiguous)."""
+    return shift_encode_credit(count)
+
+
+def decode_credit(aux: int) -> Optional[int]:
+    """Inverse of :func:`encode_credit`; None when ``aux`` carries no
+    credit information."""
+    return shift_decode_credit(aux)
 
 
 def patch_frame_aux(frame: Union[bytes, memoryview], aux: int) -> bytes:

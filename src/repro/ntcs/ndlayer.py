@@ -42,42 +42,65 @@ from repro.util.counters import ND_FRAMES_FORWARDED
 # ``open_timeout``; an inbound one sits in AWAIT_HELLO without a
 # local timer (the *peer's* hello timeout bounds that wait — its
 # close tears the transport, which surfaces here as a fault edge).
-PROTOCOL_MACHINE = {
-    "name": "lvc",
-    "anchor": True,
-    "initial": "NEW",
-    "terminal": ("CLOSED",),
-    "states": {
-        "NEW": {
-            "edges": (
-                {"event": "local connect", "next": "HELLO_SENT"},
-                {"event": "local accept", "next": "AWAIT_HELLO"},
-            ),
+# Alongside it, the lvc-rx-queue machine declares the per-LVC
+# receive-queue discipline (PROTOCOL.md §12): every arrival that grows
+# the queue is balanced by a consume or an overload drop, so the MDL005
+# queue-drain rule can prove the queue is not grow-only.
+PROTOCOL_MACHINES = (
+    {
+        "name": "lvc",
+        "anchor": True,
+        "initial": "NEW",
+        "terminal": ("CLOSED",),
+        "states": {
+            "NEW": {
+                "edges": (
+                    {"event": "local connect", "next": "HELLO_SENT"},
+                    {"event": "local accept", "next": "AWAIT_HELLO"},
+                ),
+            },
+            "HELLO_SENT": {
+                "waits": True,
+                "edges": (
+                    {"event": "recv LVC_HELLO_ACK", "next": "OPEN"},
+                    {"event": "timeout open_timeout", "next": "CLOSED"},
+                ),
+            },
+            "AWAIT_HELLO": {
+                "edges": (
+                    {"event": "recv LVC_HELLO", "next": "OPEN"},
+                    {"event": "local transport_fault", "next": "CLOSED"},
+                ),
+            },
+            "OPEN": {
+                "edges": (
+                    {"event": "send DATA", "next": "OPEN", "progress": True},
+                    {"event": "recv DATA", "next": "OPEN", "progress": True},
+                    {"event": "local close", "next": "CLOSED"},
+                    {"event": "local transport_fault", "next": "CLOSED"},
+                ),
+            },
+            "CLOSED": {},
         },
-        "HELLO_SENT": {
-            "waits": True,
-            "edges": (
-                {"event": "recv LVC_HELLO_ACK", "next": "OPEN"},
-                {"event": "timeout open_timeout", "next": "CLOSED"},
-            ),
-        },
-        "AWAIT_HELLO": {
-            "edges": (
-                {"event": "recv LVC_HELLO", "next": "OPEN"},
-                {"event": "local transport_fault", "next": "CLOSED"},
-            ),
-        },
-        "OPEN": {
-            "edges": (
-                {"event": "send DATA", "next": "OPEN", "progress": True},
-                {"event": "recv DATA", "next": "OPEN", "progress": True},
-                {"event": "local close", "next": "CLOSED"},
-                {"event": "local transport_fault", "next": "CLOSED"},
-            ),
-        },
-        "CLOSED": {},
     },
-}
+    {
+        "name": "lvc-rx-queue",
+        "initial": "PUMPING",
+        "terminal": (),
+        "states": {
+            "PUMPING": {
+                "edges": (
+                    {"event": "recv DATA", "next": "PUMPING",
+                     "queue": "+lvcq"},
+                    {"event": "local consume", "next": "PUMPING",
+                     "queue": "-lvcq", "progress": True},
+                    {"event": "local overload_drop_connectionless",
+                     "next": "PUMPING", "queue": "-lvcq"},
+                ),
+            },
+        },
+    },
+)
 
 
 class Lvc:
@@ -97,6 +120,13 @@ class Lvc:
         self.close_reason: Optional[str] = None
         self.messages_sent = 0
         self.messages_received = 0
+        # Flow-control accounting (PROTOCOL.md §12): how many of the
+        # LCM receive queue's messages arrived over this circuit, and
+        # the deepest that attribution has ever been.  Maintained by
+        # the layers above (LCM queues, IP credits); kept here because
+        # the LVC is the unit whose memory the watermarks bound.
+        self.rx_depth = 0
+        self.rx_high_water = 0
         # Optional fast-path hook (installed by the Gateway on spliced
         # LVCs): called with each raw inbound frame *before* decoding;
         # returning True means the frame was consumed (forwarded) and

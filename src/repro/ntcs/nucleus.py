@@ -63,6 +63,22 @@ class NucleusConfig:
         chaos_seed: base seed for the per-module repair-jitter RNG
             (derived per process and network, so every module draws an
             independent but reproducible stream).
+        flow_control_enabled: credit-based IVC flow control and
+            end-to-end backpressure (PROTOCOL.md §12).  Off reproduces
+            the unbounded pre-flow data plane byte-for-byte: no credit
+            kinds on the wire, every DATA aux word zero.
+        flow_window: end-to-end IVC window — unconsumed flow-debited
+            messages a sender may have outstanding before it stalls.
+        flow_low_watermark: receive-queue depth at which a receiver
+            owing a grant sends it (hysteresis: the grant is owed once
+            depth crossed ``flow_high_watermark``).  Defaults to
+            ``flow_window // 4``.
+        flow_high_watermark: receive-queue depth above which
+            connectionless arrivals are dropped (and counted) instead
+            of queued.  Defaults to ``flow_window``.
+        flow_probe_timeout: virtual seconds a zero-credit sender waits
+            per credit probe before retrying (bounded retries, then
+            the send fails as destination-unavailable).
         trace: record layer entry/exit (Sec. 6.2 debugging support).
     """
 
@@ -80,7 +96,26 @@ class NucleusConfig:
     repair_backoff_base: float = 0.05
     repair_backoff_cap: float = 2.0
     chaos_seed: int = 0
+    flow_control_enabled: bool = True
+    flow_window: int = 256
+    flow_low_watermark: Optional[int] = None
+    flow_high_watermark: Optional[int] = None
+    flow_probe_timeout: float = 1.0
     trace: bool = False
+
+    def effective_flow_low_watermark(self) -> int:
+        """The queue depth below which an owed credit grant is sent
+        (PROTOCOL.md §12); defaults to a quarter of the window."""
+        if self.flow_low_watermark is not None:
+            return self.flow_low_watermark
+        return max(1, self.flow_window // 4)
+
+    def effective_flow_high_watermark(self) -> int:
+        """The queue depth at which connectionless arrivals are dropped
+        rather than queued; defaults to the full window."""
+        if self.flow_high_watermark is not None:
+            return self.flow_high_watermark
+        return self.flow_window
 
 
 class Nucleus:

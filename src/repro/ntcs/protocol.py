@@ -22,6 +22,8 @@ T_IVC_OPEN = 3
 T_IVC_OPEN_ACK = 4
 T_IVC_OPEN_NAK = 5
 T_IVC_CLOSE = 6
+T_CREDIT_GRANT = 7
+T_CREDIT_PROBE = 8
 
 _STRUCTS = [
     # Exchanged during the channel open protocol (Sec. 3.3): each end
@@ -50,6 +52,18 @@ _STRUCTS = [
     ]),
     StructDef("ivc_close", T_IVC_CLOSE, [
         Field("reason", "char[96]"),
+    ]),
+    # Flow control (PROTOCOL.md §12).  Credits normally piggyback in the
+    # header aux word of DATA frames; these standalone bodies exist for
+    # the demand-driven path — a stalled sender probes, the receiver
+    # answers with an explicit grant.  Counters are cumulative
+    # (sent-to-date / consumed-to-date), so redelivery is idempotent.
+    StructDef("credit_grant", T_CREDIT_GRANT, [
+        Field("consumed", "u32"),
+        Field("window", "u32"),
+    ]),
+    StructDef("credit_probe", T_CREDIT_PROBE, [
+        Field("sent", "u32"),
     ]),
 ]
 

@@ -189,6 +189,51 @@ def recovery_lines(results_dir: Optional[str] = None) -> List[str]:
     return lines
 
 
+def _flow_path(results_dir: Optional[str] = None) -> str:
+    # BENCH_flow.json sits next to the other bench JSONs at the repo
+    # root, written by the same microbench run.
+    return os.path.join(os.path.dirname(_pipeline_path(results_dir)),
+                        "BENCH_flow.json")
+
+
+def flow_lines(results_dir: Optional[str] = None) -> List[str]:
+    """The flow-control / backpressure table as markdown lines (empty
+    when BENCH_flow.json is absent or unreadable)."""
+    path = _flow_path(results_dir)
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(rows, list) or not rows:
+        return []
+    lines = [
+        "## Flow control and backpressure (benchmarks/microbench.py)",
+        "",
+        "From `BENCH_flow.json` — the PROTOCOL.md §12 overload run: a "
+        "fast producer floods a polling consumer through a gateway, "
+        "with credit-based flow control on vs off.  The controlled "
+        "queue ceiling, the uncontrolled queue peak, goodput on both "
+        "sides, and the credit counters (stalls, probes, grants, "
+        "blocked sends) are read straight off the run.  Regenerate "
+        "with `python benchmarks/microbench.py`.",
+        "",
+        "| bench | metric | value | unit |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        lines.append(
+            "| {bench} | {metric} | {value} | {unit} |".format(
+                bench=row.get("bench", "?"), metric=row.get("metric", "?"),
+                value=row.get("value", "?"), unit=row.get("unit", "?"),
+            )
+        )
+    lines.append("")
+    return lines
+
+
 def compose_report(results_dir: Optional[str] = None,
                    now: Optional[str] = None) -> str:
     """The full markdown report as a string."""
@@ -223,6 +268,7 @@ def compose_report(results_dir: Optional[str] = None,
     lines.extend(pipeline_lines(results_dir))
     lines.extend(naming_lines(results_dir))
     lines.extend(recovery_lines(results_dir))
+    lines.extend(flow_lines(results_dir))
     missing = [exp_id for _, exp_id, _ in _EXPERIMENTS
                if exp_id not in seen]
     if missing:

@@ -20,6 +20,20 @@ from typing import Dict, Iterator, Tuple
 ND_FRAMES_FORWARDED = "nd_frames_forwarded"
 GATEWAY_CHECKSUM_VERIFIES_DEFERRED = "gateway_checksum_verifies_deferred"
 
+# Flow-control event names (PROTOCOL.md §12).  The bounded-memory claim
+# is an absence claim too — "no per-LVC queue ever exceeds its
+# watermark" — so the layers count every stall, probe, grant, drop, and
+# the deepest any LVC's receive-queue attribution ever got.
+LVC_RX_QUEUE_HIGH_WATER = "lvc_rx_queue_high_water"
+IP_CREDIT_STALLS = "ip_credit_stalls"
+IP_CREDIT_PROBES = "ip_credit_probes"
+IP_CREDIT_GRANTS = "ip_credit_grants"
+IP_CREDIT_RESYNCS = "ip_credit_resyncs"
+ALI_SEND_BLOCKED = "ali_send_blocked"
+DROP_CONNECTIONLESS = "drop_connectionless"
+GATEWAY_CREDIT_DROPS = "gateway_credit_overruns_dropped"
+GATEWAY_CREDIT_CLAMPS = "gateway_credit_clamps"
+
 
 class CounterSet:
     """A mutable set of named integer counters.
@@ -38,6 +52,12 @@ class CounterSet:
     def incr(self, name: str, amount: int = 1) -> None:
         """Add to one named counter (default +1)."""
         self._counts[name] += amount
+
+    def record_max(self, name: str, value: int) -> None:
+        """Raise one named counter to ``value`` if it is below it — a
+        high-water mark rather than an accumulator."""
+        if value > self._counts[name]:
+            self._counts[name] = value
 
     def __getitem__(self, name: str) -> int:
         return self._counts[name]

@@ -41,6 +41,11 @@ CONTROL_BODIES = {
     "ivc_open_ack": {"dst_mtype": "APOLLO"},
     "ivc_open_nak": {"reason": "hop count exceeded"},
     "ivc_close": {"reason": "upstream circuit failed: peer died"},
+    # Flow control (PROTOCOL.md §12): demand-driven standalone frames.
+    # Cumulative counters ride in the body; the aux word carries the
+    # same advertisement in piggyback encoding (CREDIT_VALID | count).
+    "credit_grant": {"consumed": 6, "window": 8},
+    "credit_probe": {"sent": 14},
 }
 
 # One fixed record shared by the naming-frame fixtures (PROTOCOL.md §9).
@@ -97,14 +102,24 @@ def cases(registry):
     yield ("data_tadd_source", m.Msg(kind=m.DATA, src=tsrc, dst=dst,
                                      flags=m.FLAG_PACKED, type_id=100,
                                      corr_id=10, body=packed_body))
+    # A flow-controlled DATA frame: the receiver's cumulative consumed
+    # count piggybacks in the aux word (PROTOCOL.md §12).
+    yield ("data_credit_piggyback",
+           m.Msg(kind=m.DATA, src=src, dst=dst, flags=m.FLAG_PACKED,
+                 type_id=100, corr_id=11, aux=m.encode_credit(6),
+                 body=packed_body))
     for name, values in sorted(CONTROL_BODIES.items()):
         entry = registry.get_by_name(name)
         kind = {
             "lvc_hello": m.LVC_HELLO, "lvc_hello_ack": m.LVC_HELLO_ACK,
             "ivc_open": m.IVC_OPEN, "ivc_open_ack": m.IVC_OPEN_ACK,
             "ivc_open_nak": m.IVC_OPEN_NAK, "ivc_close": m.IVC_CLOSE,
+            "credit_grant": m.CREDIT_GRANT, "credit_probe": m.CREDIT_PROBE,
         }[name]
-        aux = 3 if name == "ivc_open" else 0
+        aux = {"ivc_open": 3,
+               "credit_grant": m.encode_credit(values.get("consumed", 0)),
+               "credit_probe": m.encode_credit(values.get("sent", 0)),
+               }.get(name, 0)
         yield (name, m.Msg(kind=kind, src=src, dst=dst,
                            flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
                            type_id=entry.sdef.type_id, aux=aux,
