@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint verify test bench bench-smoke bench-scale bench-flow chaos all
+.PHONY: lint verify test bench bench-smoke bench-scale bench-flow \
+    bench-dispatch chaos all
 
 all: lint test
 
@@ -71,3 +72,14 @@ bench-scale:
 bench-flow:
 	$(PYTHON) benchmarks/microbench.py --flow
 	$(PYTHON) benchmarks/microbench.py --check --flow
+
+# Frame-train dispatch sweep (PROTOCOL.md §13): regenerates
+# BENCH_dispatch.json at the repo root — batched delivery off vs on
+# over the 10/1k/10k fan-in topologies plus the real-stack gateway
+# burst — and enforces the dispatch floors (>=3x fewer scheduler
+# events per delivered message and >=2x faster drain at 10k modules)
+# and the pinned E5 establishment counts with trains on.
+# CI runs this as the bench-dispatch job.
+bench-dispatch:
+	$(PYTHON) benchmarks/microbench.py --dispatch
+	$(PYTHON) benchmarks/microbench.py --check --dispatch

@@ -19,14 +19,17 @@ it); ``wall_ms`` is the wall-clock cost of taking the measurement.
 The event-core scale sweep (timer wheel + run queues vs the pre-change
 single binary heap, PROTOCOL.md §11) writes ``BENCH_scale.json``; the
 flow-control overload bench (credit windows and backpressure,
-PROTOCOL.md §12) writes ``BENCH_flow.json``.
+PROTOCOL.md §12) writes ``BENCH_flow.json``; the frame-train dispatch
+sweep (batched delivery and vectorized dispatch, PROTOCOL.md §13)
+writes ``BENCH_dispatch.json``.
 
 Usage::
 
-    python benchmarks/microbench.py            # run + write + enforce
-    python benchmarks/microbench.py --scale    # scale sweep only
-    python benchmarks/microbench.py --flow     # flow overload bench only
-    python benchmarks/microbench.py --check    # validate the JSON only
+    python benchmarks/microbench.py             # run + write + enforce
+    python benchmarks/microbench.py --scale     # scale sweep only
+    python benchmarks/microbench.py --flow      # flow overload bench only
+    python benchmarks/microbench.py --dispatch  # frame-train sweep only
+    python benchmarks/microbench.py --check     # validate the JSON only
 
 The run fails (exit 1) when the measured speedups fall below the
 acceptance floors: >= 3x on header encode+decode, >= 2x on the
@@ -34,8 +37,10 @@ acceptance floors: >= 3x on header encode+decode, >= 2x on the
 vs off), >= 2x fewer Name-Server requests during an URSA cold start,
 >= 10x scheduler event throughput on the 10,000-module topology (>= 3x
 at 1,000), a flow-controlled receive queue capped at the credit window
-(with the uncontrolled run >= 4x deeper at >= 0.4x the goodput cost) —
-or when the pinned E5-internet establishment-frame counts move.
+(with the uncontrolled run >= 4x deeper at >= 0.4x the goodput cost),
+>= 3x fewer scheduler events per delivered message and >= 2x faster
+end-to-end drain with frame trains on at 10,000 modules — or when the
+pinned E5-internet establishment-frame counts move.
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ NAMING_OUT_PATH = os.path.join(REPO, "BENCH_naming.json")
 RECOVERY_OUT_PATH = os.path.join(REPO, "BENCH_recovery.json")
 SCALE_OUT_PATH = os.path.join(REPO, "BENCH_scale.json")
 FLOW_OUT_PATH = os.path.join(REPO, "BENCH_flow.json")
+DISPATCH_OUT_PATH = os.path.join(REPO, "BENCH_dispatch.json")
 SCHEMA_KEYS = ("bench", "metric", "value", "unit", "virtual_ms", "wall_ms")
 
 HEADER_ENCODE_FLOOR = 3.0   # x, header encode+decode vs per-byte loops
@@ -111,6 +117,24 @@ FLOW_COUNTERS = (
     "ip_credit_stalls", "ip_credit_probes", "ip_credit_grants",
     "ip_credit_resyncs", "ali_send_blocked",
 )
+
+# Frame-train dispatch sweep (PROTOCOL.md §13): a steady-state fan-in
+# workload on the netsim substrate — ``modules`` senders firing bursts
+# at one sink — with train coalescing off vs on.  The floors gate the
+# headline claims at 10,000 modules: scheduler events per delivered
+# message must drop >= 3x, and the wall-clock cost of draining the
+# whole workload must drop >= 2x.  A real-stack burst across the
+# two_nets gateway and the pinned E5 establishment counts ride along
+# as context and as the wire-invariance re-check.
+DISPATCH_SWEEP = (10, 1000, 10000)
+DISPATCH_MESSAGES = 40000
+DISPATCH_BURST_TICKS = 32      # senders spread over this many instants
+DISPATCH_EVENTS_FLOOR = 3.0    # x, events/message reduction at 10k
+DISPATCH_DRAIN_FLOOR = 2.0     # x, wall-clock drain speedup at 10k
+DISPATCH_E2E_MESSAGES = 60
+# Module-side train counters; the gateway-side pair (gw_train_splices,
+# gateway_train_rotations) is read off the Gateway objects directly.
+DISPATCH_TRAIN_COUNTERS = ("nd_train_frames", "lcm_train_drains")
 
 
 # ---------------------------------------------------------------------------
@@ -967,6 +991,254 @@ def check_flow_floors(path: str) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Frame-train dispatch bench (PROTOCOL.md §13) -> BENCH_dispatch.json
+# ---------------------------------------------------------------------------
+
+def _drive_dispatch_fanin(modules: int, enabled: bool, repeats: int = 3):
+    """The steady-state fan-in workload on the netsim substrate:
+    ``modules`` senders, spread over ``DISPATCH_BURST_TICKS`` instants,
+    each burst-transmit their share of ``DISPATCH_MESSAGES`` frames at
+    one sink.  Same-instant same-destination frames are exactly what
+    the train coalescer batches; with ``enabled=False`` every frame
+    pays its own delivery event.  Returns total scheduler events,
+    messages delivered, best-of drain wall seconds, and the coalesced
+    train count."""
+    from repro.netsim.network import Network
+    from repro.netsim.scheduler import Scheduler
+
+    per = max(1, DISPATCH_MESSAGES // modules)
+
+    def build():
+        sched = Scheduler()
+        net = Network(sched, "bench0", latency=0.0005)
+        net.train_enabled = enabled
+        sink = net.attach("sink")
+        delivered = [0]
+
+        def on_frame(_datagram):
+            delivered[0] += 1
+
+        def on_train(datagrams):
+            delivered[0] += len(datagrams)
+
+        sink.bind_protocol("bench", on_frame)
+        sink.bind_protocol_batch("bench", on_train)
+
+        def sender(iface):
+            def fire():
+                send = iface.send
+                for _ in range(per):
+                    send("sink", "bench", b"x" * 48, size=64)
+            return fire
+
+        for i in range(modules):
+            iface = net.attach(f"m{i}")
+            sched.schedule(0.001 * (i % DISPATCH_BURST_TICKS),
+                           sender(iface), note="burst")
+        return sched, net, delivered
+
+    best = None
+    events = coalesced = 0
+    for _ in range(repeats):
+        sched, net, delivered = build()
+        gc_was = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()  # ntcslint: allow=DET001 — benchmarks measure wall time by design
+            steps = 0
+            while sched.step():
+                steps += 1
+            elapsed = time.perf_counter() - t0  # ntcslint: allow=DET001 — benchmarks measure wall time by design
+        finally:
+            if gc_was:
+                gc.enable()
+        if delivered[0] != modules * per:
+            raise AssertionError(
+                f"fan-in delivered {delivered[0]} of {modules * per} frames"
+            )
+        best = elapsed if best is None else min(best, elapsed)
+        events = steps
+        coalesced = net.trains_coalesced
+    return {"events": events, "delivered": modules * per,
+            "wall": best, "coalesced": coalesced}
+
+
+def _drive_dispatch_e2e(enabled: bool):
+    """The same claim on the real stack: a producer bursts
+    ``DISPATCH_E2E_MESSAGES`` messages across the two_nets gateway to a
+    polling consumer.  Returns scheduler events, messages received,
+    total wire frames (which must not move between modes), and the §13
+    train counters read off the run."""
+    from deployments import two_nets
+    from repro.ntcs.nucleus import NucleusConfig
+
+    bed = two_nets(config=NucleusConfig(train_enabled=enabled))
+    prod = bed.module("train.producer", "vax1")
+    cons = bed.module("train.consumer", "apollo1")
+    addr = cons.ali.uadd
+    events_before = bed.scheduler.events_processed
+    t0 = bed.now
+    for i in range(DISPATCH_E2E_MESSAGES):
+        prod.ali.send(addr, "numbers", {"a": i, "b": 0, "big": 0})
+    bed.settle()
+    received = 0
+    while cons.ali.queued():
+        cons.ali.receive(timeout=5.0)
+        received += 1
+    events = bed.scheduler.events_processed - events_before
+    counters = cons.nucleus.counters
+    # The §13 gauge: integer counters only, so the ratio is stored
+    # x1000 (milli-events per delivered message).
+    counters.record_max("scheduler_events_per_message",
+                        events * 1000 // max(1, received))
+    train_counts = {name: sum(commod.nucleus.counters[name]
+                              for commod in bed.modules.values())
+                    for name in DISPATCH_TRAIN_COUNTERS}
+    return {
+        "events": events,
+        "received": received,
+        "elapsed": bed.now - t0,
+        "frames": sum(net.frames_sent for net in bed.networks.values()),
+        "coalesced": sum(net.trains_coalesced
+                         for net in bed.networks.values()),
+        "gw_splices": sum(gw.train_splices for gw in bed.gateways.values()),
+        "gw_rotations": sum(gw.train_rotations
+                            for gw in bed.gateways.values()),
+        "events_per_msg_milli": counters["scheduler_events_per_message"],
+        "train_counts": train_counts,
+    }
+
+
+def bench_dispatch(rows: List[dict]) -> List[str]:
+    """The §13 dispatch-efficiency contract, measured: scheduler events
+    per delivered message and end-to-end drain wall time with frame
+    trains off vs on, swept over the fan-in topology sizes; the real
+    two_nets gateway burst; and the pinned E5 establishment counts
+    re-checked with trains on.  Returns floor violations."""
+    from deployments import chain_nets, echo_server
+
+    failures = []
+    for modules in DISPATCH_SWEEP:
+        off = _drive_dispatch_fanin(modules, False)
+        on = _drive_dispatch_fanin(modules, True)
+        epm_off = off["events"] / off["delivered"]
+        epm_on = on["events"] / on["delivered"]
+        reduction = epm_off / epm_on
+        drain_speedup = off["wall"] / on["wall"]
+        rows.append(row("dispatch_fanin", f"events_per_msg_off_{modules}",
+                        epm_off, "events/message",
+                        wall_ms=off["wall"] * 1000))
+        rows.append(row("dispatch_fanin", f"events_per_msg_on_{modules}",
+                        epm_on, "events/message",
+                        wall_ms=on["wall"] * 1000))
+        rows.append(row("dispatch_fanin", f"events_reduction_{modules}",
+                        reduction, "x"))
+        rows.append(row("dispatch_fanin", f"drain_speedup_{modules}",
+                        drain_speedup, "x"))
+        rows.append(row("dispatch_fanin", f"trains_coalesced_{modules}",
+                        on["coalesced"], "trains"))
+        if modules == 10000:
+            if reduction < DISPATCH_EVENTS_FLOOR:
+                failures.append(
+                    f"events-per-message reduction at {modules} modules "
+                    f"{reduction:.2f}x < {DISPATCH_EVENTS_FLOOR}x floor"
+                )
+            if drain_speedup < DISPATCH_DRAIN_FLOOR:
+                failures.append(
+                    f"drain speedup at {modules} modules "
+                    f"{drain_speedup:.2f}x < {DISPATCH_DRAIN_FLOOR}x floor"
+                )
+
+    e2e_off = _drive_dispatch_e2e(False)
+    e2e_on = _drive_dispatch_e2e(True)
+    rows.append(row("dispatch_e2e", "events_off", e2e_off["events"],
+                    "events", virtual_ms=e2e_off["elapsed"] * 1000))
+    rows.append(row("dispatch_e2e", "events_on", e2e_on["events"],
+                    "events", virtual_ms=e2e_on["elapsed"] * 1000))
+    rows.append(row("dispatch_e2e", "events_reduction",
+                    e2e_off["events"] / max(1, e2e_on["events"]), "x"))
+    rows.append(row("dispatch_e2e", "events_per_msg_milli",
+                    e2e_on["events_per_msg_milli"], "milli-events/message"))
+    rows.append(row("dispatch_e2e", "wire_frames_off", e2e_off["frames"],
+                    "frames"))
+    rows.append(row("dispatch_e2e", "wire_frames_on", e2e_on["frames"],
+                    "frames"))
+    rows.append(row("dispatch_e2e", "trains_coalesced", e2e_on["coalesced"],
+                    "trains"))
+    rows.append(row("dispatch_e2e", "gateway_train_splices",
+                    e2e_on["gw_splices"], "splices"))
+    rows.append(row("dispatch_e2e", "gateway_train_rotations",
+                    e2e_on["gw_rotations"], "rotations"))
+    for name, value in sorted(e2e_on["train_counts"].items()):
+        rows.append(row("dispatch_e2e", name, value, "events"))
+    for mode, result in (("off", e2e_off), ("on", e2e_on)):
+        if result["received"] != DISPATCH_E2E_MESSAGES:
+            failures.append(
+                f"e2e burst (trains {mode}) delivered {result['received']} "
+                f"of {DISPATCH_E2E_MESSAGES} messages"
+            )
+    if e2e_off["frames"] != e2e_on["frames"]:
+        failures.append(
+            f"e2e wire frames moved with trains on: {e2e_on['frames']} "
+            f"!= {e2e_off['frames']} (wire invariance broken)"
+        )
+
+    # Wire invariance at establishment: the pinned E5 frame counts,
+    # re-checked with trains on (the default config).
+    for hops, expected in sorted(E5_ESTABLISH_FRAMES.items()):
+        bed = chain_nets(hops)
+        echo_server(bed, "far.echo", "mEnd")
+        client = bed.module("client", "m0")
+        uadd = client.ali.locate("far.echo")
+        frames_before = sum(net.frames_sent for net in bed.networks.values())
+        client.ali.call(uadd, "echo", {"n": 0, "text": "establish"})
+        frames = sum(net.frames_sent
+                     for net in bed.networks.values()) - frames_before
+        rows.append(row("dispatch_e5", f"establish_frames_{hops}gw",
+                        frames, "frames"))
+        if frames != expected:
+            failures.append(
+                f"E5 establish frames for {hops} gateways with trains on: "
+                f"{frames} != pinned {expected}"
+            )
+    return failures
+
+
+def check_dispatch_floors(path: str) -> List[str]:
+    """Re-enforce the dispatch floors and the E5 pins from an existing
+    BENCH_dispatch.json (the ``--check`` side of the contract)."""
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    fanin = {entry["metric"]: entry["value"] for entry in rows
+             if isinstance(entry, dict)
+             and entry.get("bench") == "dispatch_fanin"}
+    e5 = {entry["metric"]: entry["value"] for entry in rows
+          if isinstance(entry, dict)
+          and entry.get("bench") == "dispatch_e5"}
+    problems = []
+    for metric, floor in (("events_reduction_10000", DISPATCH_EVENTS_FLOOR),
+                          ("drain_speedup_10000", DISPATCH_DRAIN_FLOOR)):
+        if metric not in fanin:
+            problems.append(f"{path}: missing {metric} row")
+        elif fanin[metric] < floor:
+            problems.append(
+                f"{path}: {metric} = {fanin[metric]:.2f}x < {floor}x floor"
+            )
+    for hops, expected in sorted(E5_ESTABLISH_FRAMES.items()):
+        metric = f"establish_frames_{hops}gw"
+        if metric not in e5:
+            problems.append(f"{path}: missing {metric} row")
+        elif e5[metric] != expected:
+            problems.append(
+                f"{path}: {metric} = {e5[metric]} != pinned {expected}"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Schema validation (--check)
 # ---------------------------------------------------------------------------
 
@@ -1020,8 +1292,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="validate BENCH_pipeline.json, "
                              "BENCH_naming.json, BENCH_recovery.json, "
-                             "BENCH_scale.json and BENCH_flow.json "
-                             "(schema + scale/flow floors), then exit")
+                             "BENCH_scale.json, BENCH_flow.json and "
+                             "BENCH_dispatch.json (schema + "
+                             "scale/flow/dispatch floors), then exit")
     parser.add_argument("--scale", action="store_true",
                         help="run only the event-core scale sweep "
                              "(BENCH_scale.json); with --check, validate "
@@ -1030,6 +1303,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the flow-control overload bench "
                              "(BENCH_flow.json); with --check, validate "
                              "only that file")
+    parser.add_argument("--dispatch", action="store_true",
+                        help="run only the frame-train dispatch sweep "
+                             "(BENCH_dispatch.json); with --check, "
+                             "validate only that file")
     parser.add_argument("--out", default=OUT_PATH,
                         help="pipeline output path (default: repo root)")
     parser.add_argument("--naming-out", default=NAMING_OUT_PATH,
@@ -1040,6 +1317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="scale output path (default: repo root)")
     parser.add_argument("--flow-out", default=FLOW_OUT_PATH,
                         help="flow output path (default: repo root)")
+    parser.add_argument("--dispatch-out", default=DISPATCH_OUT_PATH,
+                        help="dispatch output path (default: repo root)")
     args = parser.parse_args(argv)
 
     if args.check:
@@ -1047,9 +1326,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             paths = (args.scale_out,)
         elif args.flow:
             paths = (args.flow_out,)
+        elif args.dispatch:
+            paths = (args.dispatch_out,)
         else:
             paths = (args.out, args.naming_out, args.recovery_out,
-                     args.scale_out, args.flow_out)
+                     args.scale_out, args.flow_out, args.dispatch_out)
         problems = []
         for path in paths:
             found = validate(path)
@@ -1057,6 +1338,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 found = check_scale_floors(path)
             if path == args.flow_out and not found:
                 found = check_flow_floors(path)
+            if path == args.dispatch_out and not found:
+                found = check_dispatch_floors(path)
             for problem in found:
                 print(f"schema violation: {problem}", file=sys.stderr)
             print(f"{path}: " + ("INVALID" if found else "ok"))
@@ -1083,6 +1366,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if flow_failures else 0
 
+    if args.dispatch:
+        dispatch_rows: List[dict] = []
+        dispatch_failures = bench_dispatch(dispatch_rows)
+        _write_rows(args.dispatch_out, dispatch_rows)
+        dispatch_failures.extend(
+            f"schema violation: {p}" for p in validate(args.dispatch_out))
+        for failure in dispatch_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if dispatch_failures else 0
+
     rows: List[dict] = []
     header_speedup = bench_header_codec(rows)
     forwarding_speedup = bench_forwarding(rows)
@@ -1107,6 +1400,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     flow_rows: List[dict] = []
     flow_failures = bench_flow(flow_rows)
     _write_rows(args.flow_out, flow_rows)
+
+    dispatch_rows: List[dict] = []
+    dispatch_failures = bench_dispatch(dispatch_rows)
+    _write_rows(args.dispatch_out, dispatch_rows)
 
     failures = []
     if header_speedup < HEADER_ENCODE_FLOOR:
@@ -1133,8 +1430,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures.extend(recovery_failures)
     failures.extend(scale_failures)
     failures.extend(flow_failures)
+    failures.extend(dispatch_failures)
     for path in (args.out, args.naming_out, args.recovery_out,
-                 args.scale_out, args.flow_out):
+                 args.scale_out, args.flow_out, args.dispatch_out):
         failures.extend(f"schema violation: {p}" for p in validate(path))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -15,28 +15,40 @@ not accidentally provide it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import NetworkUnreachable, SimulationError
 from repro.netsim.faults import FaultPlan
 from repro.netsim.scheduler import Scheduler
 
 
-@dataclass(frozen=True)
 class Datagram:
     """One frame on the wire.
 
     ``protocol`` names the IPCS that should receive it ("tcp", "mbx");
     ``payload`` is whatever that IPCS puts on the wire (its own framing;
     NTCS bytes ride inside).
+
+    A plain ``__slots__`` class rather than a frozen dataclass: one is
+    constructed for every frame the simulation moves, and the frozen
+    dataclass's per-field ``object.__setattr__`` made construction the
+    single largest fixed cost on the transmit path.  Treat instances as
+    immutable all the same — a frame on the wire does not change.
     """
 
-    network: str
-    src_host: str
-    dst_host: str
-    protocol: str
-    payload: Any
+    __slots__ = ("network", "src_host", "dst_host", "protocol", "payload")
+
+    def __init__(self, network: str, src_host: str, dst_host: str,
+                 protocol: str, payload: Any):
+        self.network = network
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.protocol = protocol
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (f"Datagram({self.network!r}, {self.src_host!r}->"
+                f"{self.dst_host!r}, {self.protocol!r})")
 
 
 class Interface:
@@ -46,6 +58,7 @@ class Interface:
         self.network = network
         self.host = host
         self._handlers: Dict[str, Callable[[Datagram], None]] = {}
+        self._batch_handlers: Dict[str, Callable[[List[Datagram]], None]] = {}
         self.up = True
 
     def bind_protocol(self, protocol: str, handler: Callable[[Datagram], None]) -> None:
@@ -56,9 +69,21 @@ class Interface:
             )
         self._handlers[protocol] = handler
 
+    def bind_protocol_batch(
+        self, protocol: str,
+        handler: Callable[[List[Datagram]], None],
+    ) -> None:
+        """Register an optional batch receive handler: a frame train
+        (PROTOCOL.md §13) for this protocol arrives as one call instead
+        of one :meth:`deliver` per frame.  Purely an efficiency
+        contract — the handler must process the frames exactly as the
+        per-frame handler would, in list order."""
+        self._batch_handlers[protocol] = handler
+
     def unbind_protocol(self, protocol: str) -> None:
         """Remove a protocol's receive handler."""
         self._handlers.pop(protocol, None)
+        self._batch_handlers.pop(protocol, None)
 
     def send(self, dst_host: str, protocol: str, payload: Any,
              size: Optional[int] = None) -> None:
@@ -87,6 +112,40 @@ class Interface:
             handler(datagram)
         # No handler: the frame is dropped, as a real stack would discard
         # a segment for a protocol nobody registered.
+
+    def deliver_train(self, datagrams: List[Datagram]) -> None:
+        """Called by the network when a frame train arrives — every
+        datagram shares this host and one protocol.  One handler lookup
+        serves the whole batch; an IPCS that registered a batch handler
+        receives the train intact, anyone else gets the per-frame
+        upcalls in order."""
+        if not self.up:
+            return
+        protocol = datagrams[0].protocol
+        batch = self._batch_handlers.get(protocol)
+        if batch is not None and len(datagrams) > 1:
+            batch(datagrams)
+            return
+        handler = self._handlers.get(protocol)
+        if handler is not None:
+            for datagram in datagrams:
+                handler(datagram)
+
+
+class _Train:
+    """One open frame train: back-to-back frames sharing a destination,
+    protocol and delivery delay, coalesced into a single scheduled
+    delivery event (PROTOCOL.md §13)."""
+
+    __slots__ = ("iface", "protocol", "born_at", "delay", "frames")
+
+    def __init__(self, iface: "Interface", protocol: str, born_at: float,
+                 delay: float, first: Datagram):
+        self.iface = iface
+        self.protocol = protocol
+        self.born_at = born_at
+        self.delay = delay
+        self.frames: List[Datagram] = [first]
 
 
 class Network:
@@ -124,6 +183,18 @@ class Network:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.bytes_sent = 0
+        # Frame trains (PROTOCOL.md §13): coalesce back-to-back frames
+        # sharing (dst_host, protocol, delay) at one transmit instant
+        # into a single delivery event.  Purely a delivery-path
+        # construct — transmit-side accounting, the drop decision and
+        # the trace hook stay per-frame, so the wire is unaffected.
+        # With ``train_enabled=False`` the pre-train per-frame schedule
+        # is reproduced event-for-event.
+        self.train_enabled = True
+        self.train_max = 64
+        self._open_train: Optional[_Train] = None
+        # Delivery events that carried more than one frame.
+        self.trains_coalesced = 0
         # Optional wire tap (see repro.netsim.tracelog): called for
         # every transmitted frame, after the drop decision, with
         # (datagram, size, dropped).  Observation only — it cannot
@@ -171,6 +242,47 @@ class Network:
         delay = self.latency
         if self.bandwidth:
             delay += size / self.bandwidth
+
+        if self.train_enabled:
+            train = self._open_train
+            if (train is not None
+                    and train.iface is dst
+                    and train.protocol == datagram.protocol
+                    and train.delay == delay
+                    and train.born_at == self.scheduler.now
+                    and len(train.frames) < self.train_max):
+                # Back-to-back same-key frame: ride the open train's
+                # already-scheduled delivery event.  The event was
+                # posted at the head frame's (time, seq), so trains
+                # fire in head-seq order and delivery order equals the
+                # per-frame order exactly.
+                train.frames.append(datagram)
+                return
+            # Different key, a time advance, or a full train: this
+            # frame opens a fresh train (closing the previous one — it
+            # can no longer be joined).
+            train = _Train(dst, datagram.protocol,
+                           self.scheduler.now, delay, datagram)
+            self._open_train = train
+
+            def deliver_train():
+                # Close the train before delivering: a frame
+                # transmitted from inside a delivery upcall must start
+                # a new train, never join one already firing.
+                if self._open_train is train:
+                    self._open_train = None
+                frames = train.frames
+                self.frames_delivered += len(frames)
+                if len(frames) > 1:
+                    self.trains_coalesced += 1
+                dst.deliver_train(frames)
+
+            self.scheduler.post(
+                delay,
+                deliver_train,
+                note=f"{self.name}:{datagram.src_host}->{datagram.dst_host}",
+            )
+            return
 
         def deliver():
             self.frames_delivered += 1

@@ -32,17 +32,31 @@ class FramedChannel(MessageChannel):
 
     def _on_bytes(self, data: bytes) -> None:
         self._buffer.extend(data)
+        self._emit_train(self._extract_all())
+
+    def _on_bytes_many(self, chunks) -> None:
+        # A frame train (PROTOCOL.md §13): extend the buffer with every
+        # chunk first, then extract all complete messages in one pass
+        # and hand them up as one train.
+        buffer = self._buffer
+        for chunk in chunks:
+            buffer.extend(chunk)
+        self._emit_train(self._extract_all())
+
+    def _extract_all(self) -> list:
+        """Pop every complete length-prefixed message off the buffer."""
+        messages = []
+        buffer = self._buffer
         while True:
-            if len(self._buffer) < _LEN_BYTES:
-                return
-            (length,) = shift_decode_u32s(bytes(self._buffer[:_LEN_BYTES]), 1)
+            if len(buffer) < _LEN_BYTES:
+                return messages
+            (length,) = shift_decode_u32s(buffer, 1)
             if length > _MAX_MESSAGE:
                 raise ProtocolError(f"insane frame length {length}")
-            if len(self._buffer) < _LEN_BYTES + length:
-                return
-            message = bytes(self._buffer[_LEN_BYTES:_LEN_BYTES + length])
-            del self._buffer[:_LEN_BYTES + length]
-            self._emit(message)
+            if len(buffer) < _LEN_BYTES + length:
+                return messages
+            messages.append(bytes(buffer[_LEN_BYTES:_LEN_BYTES + length]))
+            del buffer[:_LEN_BYTES + length]
 
 
 class SimTcpDriver(StdIfDriver):

@@ -234,6 +234,52 @@ def flow_lines(results_dir: Optional[str] = None) -> List[str]:
     return lines
 
 
+def _dispatch_path(results_dir: Optional[str] = None) -> str:
+    # BENCH_dispatch.json sits next to the other bench JSONs at the
+    # repo root, written by the same microbench run.
+    return os.path.join(os.path.dirname(_pipeline_path(results_dir)),
+                        "BENCH_dispatch.json")
+
+
+def dispatch_lines(results_dir: Optional[str] = None) -> List[str]:
+    """The frame-train / vectorized-dispatch table as markdown lines
+    (empty when BENCH_dispatch.json is absent or unreadable)."""
+    path = _dispatch_path(results_dir)
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(rows, list) or not rows:
+        return []
+    lines = [
+        "## Dispatch efficiency: frame trains (benchmarks/microbench.py)",
+        "",
+        "From `BENCH_dispatch.json` — the PROTOCOL.md §13 frame-train "
+        "sweep: the E13 fan-in workload at 10 / 1k / 10k modules with "
+        "train coalescing off vs on.  Scheduler events per delivered "
+        "message, end-to-end drain throughput, the train counters "
+        "(coalesced trains, ND train frames, gateway train splices and "
+        "rotations, LCM train drains), and the pinned E5 establishment "
+        "frame counts re-checked with trains on are read straight off "
+        "the runs.  Regenerate with `python benchmarks/microbench.py`.",
+        "",
+        "| bench | metric | value | unit |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        lines.append(
+            "| {bench} | {metric} | {value} | {unit} |".format(
+                bench=row.get("bench", "?"), metric=row.get("metric", "?"),
+                value=row.get("value", "?"), unit=row.get("unit", "?"),
+            )
+        )
+    lines.append("")
+    return lines
+
+
 def compose_report(results_dir: Optional[str] = None,
                    now: Optional[str] = None) -> str:
     """The full markdown report as a string."""
@@ -269,6 +315,7 @@ def compose_report(results_dir: Optional[str] = None,
     lines.extend(naming_lines(results_dir))
     lines.extend(recovery_lines(results_dir))
     lines.extend(flow_lines(results_dir))
+    lines.extend(dispatch_lines(results_dir))
     missing = [exp_id for _, exp_id, _ in _EXPERIMENTS
                if exp_id not in seen]
     if missing:

@@ -205,6 +205,37 @@ def test_pragma_waives_a_finding():
 
 
 # ---------------------------------------------------------------------------
+# Performance (PERF001) — hot paths stay batched (PROTOCOL.md §13)
+# ---------------------------------------------------------------------------
+
+def test_perf_rule_fires_on_per_frame_post_loops():
+    # The fixture's module name is repro.ntcs.ndlayer — a frame-train
+    # hot-path module — so scheduler posts inside for/while loops fire.
+    findings = fixture_findings("ntcs/ndlayer")
+    assert rule_lines(findings) == [("PERF001", 12), ("PERF001", 16)]
+    assert "train API" in findings[0].message
+
+
+def test_perf_rule_ignores_single_posts_and_other_modules():
+    # one_shot() in the fixture posts outside a loop: no finding past
+    # line 16.  And the identical shapes elsewhere in the fixture tree
+    # (non-hot-path modules) produce no PERF001 at all.
+    assert all(f.line <= 16 for f in fixture_findings("ntcs/ndlayer"))
+    others = [f for f in fixture_findings() if f.rule == "PERF001"
+              and "ntcs/ndlayer" not in f.path]
+    assert others == []
+
+
+def test_live_hot_paths_satisfy_perf001():
+    # The real ND-Layer and gateway deliver trains through the batched
+    # entry points — no per-frame dispatch loops, no waivers.
+    for rel in ("ntcs/ndlayer.py", "ntcs/gateway.py"):
+        findings = [f for f in analyze([SRC_TREE / rel])
+                    if f.rule == "PERF001"]
+        assert findings == [], rel
+
+
+# ---------------------------------------------------------------------------
 # The fast-path splice pattern is lint-clean without waivers
 # ---------------------------------------------------------------------------
 
