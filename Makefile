@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: lint verify test bench bench-smoke bench-scale bench-flow \
-    bench-dispatch chaos all
+    bench-dispatch bench-naming chaos all
 
 all: lint test
 
@@ -72,6 +72,17 @@ bench-scale:
 bench-flow:
 	$(PYTHON) benchmarks/microbench.py --flow
 	$(PYTHON) benchmarks/microbench.py --check --flow
+
+# Sharded-naming sweep (PROTOCOL.md §14): regenerates
+# BENCH_naming.json at the repo root — the control-plane benches plus
+# the 1/2/4-shard bulk-load of 10^5 modules and the million-name ring
+# placement sweep — and enforces the scale floors (full record count
+# per configuration, resolve cost within 1.5x of single-shard, ring
+# balance inside the §14 bound) and the pinned E5 establishment
+# counts.  CI runs this as the bench-naming job.
+bench-naming:
+	$(PYTHON) benchmarks/microbench.py --naming
+	$(PYTHON) benchmarks/microbench.py --check --naming
 
 # Frame-train dispatch sweep (PROTOCOL.md §13): regenerates
 # BENCH_dispatch.json at the repo root — batched delivery off vs on

@@ -29,6 +29,7 @@ Usage::
     python benchmarks/microbench.py --scale     # scale sweep only
     python benchmarks/microbench.py --flow      # flow overload bench only
     python benchmarks/microbench.py --dispatch  # frame-train sweep only
+    python benchmarks/microbench.py --naming    # naming benches only
     python benchmarks/microbench.py --check     # validate the JSON only
 
 The run fails (exit 1) when the measured speedups fall below the
@@ -39,8 +40,11 @@ vs off), >= 2x fewer Name-Server requests during an URSA cold start,
 at 1,000), a flow-controlled receive queue capped at the credit window
 (with the uncontrolled run >= 4x deeper at >= 0.4x the goodput cost),
 >= 3x fewer scheduler events per delivered message and >= 2x faster
-end-to-end drain with frame trains on at 10,000 modules — or when the
-pinned E5-internet establishment-frame counts move.
+end-to-end drain with frame trains on at 10,000 modules, a sharded
+name database that holds >= 10^5 registered modules at every swept
+shard count with the per-resolve cost within 1.5x of the single-shard
+cost, and million-name ring placements balanced inside the §14 bound
+— or when the pinned E5-internet establishment-frame counts move.
 """
 
 from __future__ import annotations
@@ -75,6 +79,21 @@ URSA_NS_FLOOR = 2.0         # x, NS requests during URSA cold start
 # inter-gateway control plane.  The control-plane cache must not move
 # these numbers.
 E5_ESTABLISH_FRAMES = {0: 14, 1: 64, 2: 124, 3: 202, 4: 298}
+
+# Sharded-naming sweep (PROTOCOL.md §14): the name database bulk-loaded
+# across 1/2/4 shards through the same consistent-hash ring every
+# client computes.  The floors gate the scale claim — >= 10^5
+# registered modules per configuration with the per-resolve cost flat
+# as shards are added (a lookup is one ring placement plus one
+# shard-local resolve, never a fan-out) — and the ring's placement
+# balance on the million-name sweep.
+NAMING_SHARD_SWEEP = (1, 2, 4)
+NAMING_SHARD_RECORDS = 100_000      # the 10^5 acceptance scale
+NAMING_SHARD_LOOKUPS = 20_000
+NAMING_FLAT_CEILING = 1.5           # x, resolve cost at N shards vs 1
+NAMING_RING_PLACEMENTS = (100_000, 1_000_000)
+NAMING_BALANCE_LO = 0.2             # x mean, lightest shard's share
+NAMING_BALANCE_HI = 3.0             # x mean, heaviest shard's share
 
 # The §9 work-saved counters surfaced in the report table.
 CONTROL_PLANE_COUNTERS = (
@@ -578,6 +597,166 @@ def bench_e5_invariants(rows: List[dict]) -> List[str]:
                 f"{control} != 0"
             )
     return failures
+
+
+def bench_naming_shards(rows: List[dict]) -> List[str]:
+    """The §14 scale contract, measured: bulk-load
+    ``NAMING_SHARD_RECORDS`` modules into a 1/2/4-shard name database
+    through the client-side ring, then resolve a deterministic sample.
+    The per-lookup cost must stay flat as shards are added — each
+    resolve is one ring placement plus one shard-local lookup, never a
+    fan-out — and every configuration must hold the full 10^5 records.
+    The raw ring placement throughput is swept toward 10^6 names with
+    its balance checked against the §14 bound.  Returns floor
+    violations."""
+    from repro.naming.database import NameDatabase
+    from repro.naming.shards import HashRing
+
+    failures = []
+    names = [f"mod.{i}" for i in range(NAMING_SHARD_RECORDS)]
+    # A deterministic prime-strided sample: touches every shard, never
+    # the same name twice in a row, no RNG.
+    sample = [names[(i * 7919) % NAMING_SHARD_RECORDS]
+              for i in range(NAMING_SHARD_LOOKUPS)]
+    costs = {}
+    for shards in NAMING_SHARD_SWEEP:
+        ring = HashRing(range(shards))
+        owner = ring.owner
+        dbs = {sid: NameDatabase(server_id=sid + 1) for sid in ring.shards}
+
+        def bulk_load():
+            for name in names:
+                dbs[owner(name)].register(
+                    name, {},
+                    [("ether0", f"tcp:ether0:ns{shards}:411")], "VAX")
+
+        # One pass only: register mints a fresh UAdd per call, so a
+        # repeat would double the database.
+        load_s = best_of(bulk_load, repeats=1)
+        loaded = sum(len(db) for db in dbs.values())
+
+        def resolve_sample():
+            for name in sample:
+                dbs[owner(name)].resolve_name(name)
+
+        lookup_s = best_of(resolve_sample, repeats=3)
+        cost_us = lookup_s / NAMING_SHARD_LOOKUPS * 1e6
+        costs[shards] = cost_us
+        counts = sorted(len(db) for db in dbs.values())
+        rows.append(row("naming_shards", f"records_loaded_{shards}shard",
+                        loaded, "records", wall_ms=load_s * 1000))
+        rows.append(row("naming_shards", f"resolve_us_{shards}shard",
+                        cost_us, "us/lookup", wall_ms=lookup_s * 1000))
+        rows.append(row("naming_shards", f"resolve_rate_{shards}shard",
+                        NAMING_SHARD_LOOKUPS / lookup_s, "lookups/s"))
+        rows.append(row("naming_shards", f"lightest_shard_{shards}shard",
+                        counts[0], "records"))
+        rows.append(row("naming_shards", f"heaviest_shard_{shards}shard",
+                        counts[-1], "records"))
+        if loaded != NAMING_SHARD_RECORDS:
+            failures.append(
+                f"{shards}-shard database holds {loaded} records, "
+                f"expected {NAMING_SHARD_RECORDS}"
+            )
+    baseline = costs[min(NAMING_SHARD_SWEEP)]
+    for shards in NAMING_SHARD_SWEEP:
+        flatness = costs[shards] / baseline
+        rows.append(row("naming_shards", f"resolve_flatness_{shards}shard",
+                        flatness, "x"))
+        if flatness > NAMING_FLAT_CEILING:
+            failures.append(
+                f"resolve cost at {shards} shards is {flatness:.2f}x the "
+                f"single-shard cost > {NAMING_FLAT_CEILING}x ceiling"
+            )
+    for placements in NAMING_RING_PLACEMENTS:
+        ring = HashRing(range(max(NAMING_SHARD_SWEEP)))
+        owner = ring.owner
+        counts = dict.fromkeys(ring.shards, 0)
+
+        def place_all():
+            for i in range(placements):
+                counts[owner(f"mod.{i}")] += 1
+
+        # One pass only: the balance check reads the placement counts.
+        elapsed = best_of(place_all, repeats=1)
+        mean = placements / len(counts)
+        lo = min(counts.values()) / mean
+        hi = max(counts.values()) / mean
+        rows.append(row("naming_ring", f"placements_per_s_{placements}",
+                        placements / elapsed, "placements/s",
+                        wall_ms=elapsed * 1000))
+        rows.append(row("naming_ring", f"balance_lo_{placements}", lo, "x"))
+        rows.append(row("naming_ring", f"balance_hi_{placements}", hi, "x"))
+        if lo < NAMING_BALANCE_LO or hi > NAMING_BALANCE_HI:
+            failures.append(
+                f"ring balance over {placements} placements "
+                f"[{lo:.3f}x, {hi:.3f}x] outside "
+                f"[{NAMING_BALANCE_LO}x, {NAMING_BALANCE_HI}x]"
+            )
+    return failures
+
+
+def check_naming_floors(path: str) -> List[str]:
+    """Re-enforce the sharded-naming floors and the pinned E5 counts
+    from an existing BENCH_naming.json (the ``--check`` side of the
+    contract)."""
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    by_bench = {}
+    for entry in rows:
+        if isinstance(entry, dict):
+            by_bench.setdefault(entry.get("bench"), {})[
+                entry.get("metric")] = entry.get("value")
+    shard = by_bench.get("naming_shards", {})
+    ring = by_bench.get("naming_ring", {})
+    e5 = by_bench.get("e5_invariants", {})
+    problems = []
+    for shards in NAMING_SHARD_SWEEP:
+        metric = f"records_loaded_{shards}shard"
+        if metric not in shard:
+            problems.append(f"{path}: missing {metric} row")
+        elif shard[metric] < NAMING_SHARD_RECORDS:
+            problems.append(
+                f"{path}: {metric} = {shard[metric]} "
+                f"< {NAMING_SHARD_RECORDS} records"
+            )
+        metric = f"resolve_flatness_{shards}shard"
+        if metric not in shard:
+            problems.append(f"{path}: missing {metric} row")
+        elif shard[metric] > NAMING_FLAT_CEILING:
+            problems.append(
+                f"{path}: {metric} = {shard[metric]:.2f}x "
+                f"> {NAMING_FLAT_CEILING}x ceiling"
+            )
+    for placements in NAMING_RING_PLACEMENTS:
+        lo = ring.get(f"balance_lo_{placements}")
+        hi = ring.get(f"balance_hi_{placements}")
+        if lo is None or hi is None:
+            problems.append(
+                f"{path}: missing balance rows for {placements} placements")
+        elif lo < NAMING_BALANCE_LO or hi > NAMING_BALANCE_HI:
+            problems.append(
+                f"{path}: ring balance over {placements} placements "
+                f"[{lo:.3f}x, {hi:.3f}x] outside "
+                f"[{NAMING_BALANCE_LO}x, {NAMING_BALANCE_HI}x]"
+            )
+    for hops, expected in sorted(E5_ESTABLISH_FRAMES.items()):
+        metric = f"establish_frames_{hops}gw"
+        if metric not in e5:
+            problems.append(f"{path}: missing {metric} row")
+        elif e5[metric] != expected:
+            problems.append(
+                f"{path}: {metric} = {e5[metric]} != pinned {expected}"
+            )
+        control = e5.get(f"inter_gw_control_{hops}gw")
+        if control:
+            problems.append(
+                f"{path}: inter_gw_control_{hops}gw = {control} != 0"
+            )
+    return problems
 
 
 # ---------------------------------------------------------------------------
@@ -1307,6 +1486,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the frame-train dispatch sweep "
                              "(BENCH_dispatch.json); with --check, "
                              "validate only that file")
+    parser.add_argument("--naming", action="store_true",
+                        help="run only the control-plane benches plus "
+                             "the §14 sharded-naming sweep "
+                             "(BENCH_naming.json); with --check, "
+                             "validate only that file")
     parser.add_argument("--out", default=OUT_PATH,
                         help="pipeline output path (default: repo root)")
     parser.add_argument("--naming-out", default=NAMING_OUT_PATH,
@@ -1328,6 +1512,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             paths = (args.flow_out,)
         elif args.dispatch:
             paths = (args.dispatch_out,)
+        elif args.naming:
+            paths = (args.naming_out,)
         else:
             paths = (args.out, args.naming_out, args.recovery_out,
                      args.scale_out, args.flow_out, args.dispatch_out)
@@ -1340,6 +1526,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 found = check_flow_floors(path)
             if path == args.dispatch_out and not found:
                 found = check_dispatch_floors(path)
+            if path == args.naming_out and not found:
+                found = check_naming_floors(path)
             for problem in found:
                 print(f"schema violation: {problem}", file=sys.stderr)
             print(f"{path}: " + ("INVALID" if found else "ok"))
@@ -1376,6 +1564,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if dispatch_failures else 0
 
+    if args.naming:
+        naming_rows: List[dict] = []
+        hot_speedup = bench_hot_resolution(naming_rows)
+        ursa_reduction = bench_ursa_cold_start(naming_rows)
+        naming_failures = bench_e5_invariants(naming_rows)
+        naming_failures.extend(bench_naming_shards(naming_rows))
+        _write_rows(args.naming_out, naming_rows)
+        if hot_speedup < HOT_RESOLUTION_FLOOR:
+            naming_failures.append(
+                f"hot resolution speedup {hot_speedup:.2f}x "
+                f"< {HOT_RESOLUTION_FLOOR}x floor"
+            )
+        if ursa_reduction < URSA_NS_FLOOR:
+            naming_failures.append(
+                f"URSA cold-start NS-request reduction "
+                f"{ursa_reduction:.2f}x < {URSA_NS_FLOOR}x floor"
+            )
+        naming_failures.extend(
+            f"schema violation: {p}" for p in validate(args.naming_out))
+        for failure in naming_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if naming_failures else 0
+
     rows: List[dict] = []
     header_speedup = bench_header_codec(rows)
     forwarding_speedup = bench_forwarding(rows)
@@ -1383,10 +1594,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_e2e_chain(rows)
     _write_rows(args.out, rows)
 
-    naming_rows: List[dict] = []
+    naming_rows = []
     hot_speedup = bench_hot_resolution(naming_rows)
     ursa_reduction = bench_ursa_cold_start(naming_rows)
     e5_failures = bench_e5_invariants(naming_rows)
+    shard_failures = bench_naming_shards(naming_rows)
     _write_rows(args.naming_out, naming_rows)
 
     recovery_rows: List[dict] = []
@@ -1427,6 +1639,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"< {URSA_NS_FLOOR}x floor"
         )
     failures.extend(e5_failures)
+    failures.extend(shard_failures)
     failures.extend(recovery_failures)
     failures.extend(scale_failures)
     failures.extend(flow_failures)

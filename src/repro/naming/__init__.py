@@ -16,13 +16,17 @@ the application modules above."
 * :mod:`attributes` — the attribute-value naming scheme the paper's
   Sec. 7 says was being adopted,
 * :mod:`replicated` — the replicated name service Sec. 7 plans for
-  failure resiliency.
+  failure resiliency,
+* :mod:`shards` — the name database "partially distributed across two
+  or more such modules" (Sec. 7): consistent-hash sharding over
+  replica groups, with generation-stamped anti-entropy.
 """
 
 from repro.naming.protocol import NameRecord, register_naming_types
 from repro.naming.database import NameDatabase
 from repro.naming.server import NameServer
 from repro.naming.nsp import NspLayer
+from repro.naming.shards import HashRing, ShardedNameServer, ShardedNspLayer
 
 __all__ = [
     "NameRecord",
@@ -30,4 +34,7 @@ __all__ = [
     "NameDatabase",
     "NameServer",
     "NspLayer",
+    "HashRing",
+    "ShardedNameServer",
+    "ShardedNspLayer",
 ]

@@ -52,6 +52,13 @@ class NameDatabase:
         # every mutation, stamped onto Name-Server replies so clients
         # can invalidate resolution caches that predate a write.
         self.generation = 1
+        # Origin write log (PROTOCOL.md §14): (generation stamp, record
+        # snapshot) per write this database *originated* — appended by
+        # the serving Name Server, never by replication — so a peer can
+        # pull exactly the writes past its watermark during
+        # anti-entropy.  Lives on the database because the database is
+        # what survives a crash/restart.
+        self.oplog: List[Tuple[int, NameRecord]] = []
 
     # -- registration ------------------------------------------------------------
 
@@ -93,6 +100,26 @@ class NameDatabase:
         self._by_name.setdefault(record.name, []).append(record)
         self.registrations += 1
 
+    def log_write(self, record: NameRecord) -> None:
+        """Append an origin write to the anti-entropy log, snapshotted
+        (records mutate in place on deregister) and stamped with the
+        current generation."""
+        self.oplog.append((self.generation, NameRecord.decode(record.encode())))
+
+    def merge(self, record: NameRecord) -> bool:
+        """Anti-entropy merge (PROTOCOL.md §14): adopt a record pulled
+        from a replica, tombstone-wins.  UAdd records are write-once
+        plus tombstone, so the merge is idempotent and order-
+        insensitive; True when the database changed."""
+        existing = self._by_uadd.get(record.uadd)
+        if existing is None:
+            self.adopt(record)
+            return True
+        if existing.alive and not record.alive:
+            self.adopt(record)
+            return True
+        return False
+
     def deregister(self, uadd: Address) -> bool:
         """Tombstone an entry (kept for forwarding lookups)."""
         record = self._by_uadd.get(uadd)
@@ -117,6 +144,11 @@ class NameDatabase:
         if record is None:
             raise NoSuchName(f"no module registered as {name!r}")
         return record
+
+    def get(self, uadd: Address) -> Optional[NameRecord]:
+        """The record for a UAdd, or None — no lookup accounting (used
+        by ownership checks that precede the real resolution)."""
+        return self._by_uadd.get(uadd)
 
     def resolve_uadd(self, uadd: Address) -> NameRecord:
         """UAdd → full record (physical location information)."""

@@ -45,6 +45,11 @@ T_NS_QUERY_ATTRS_ACK = 24
 T_NS_REPL_UPDATE = 25
 T_NS_RESOLVE_BATCH = 26
 T_NS_RESOLVE_BATCH_ACK = 27
+T_NS_SHARD_REDIRECT = 28
+T_NS_SHARD_HANDOFF = 29
+T_NS_SHARD_HANDOFF_ACK = 30
+T_NS_ANTIENTROPY = 31
+T_NS_ANTIENTROPY_ACK = 32
 
 # Forward-lookup status codes (ns_forward_ack.status).
 FWD_FOUND = 0
@@ -119,6 +124,31 @@ _STRUCTS = [
         Field("gen", "u64"),
         Field("count", "u32"),
         Field("payload", "bytes"),       # missing names + found records
+    ]),
+    # -- sharded naming (PROTOCOL.md §14) ------------------------------------
+    StructDef("ns_shard_redirect", T_NS_SHARD_REDIRECT, [
+        Field("shard_id", "u32"),
+        Field("count", "u32"),
+        Field("records", "bytes"),       # the owning shard's server records
+    ]),
+    StructDef("ns_shard_handoff", T_NS_SHARD_HANDOFF, [
+        Field("shard_id", "u32"),
+        Field("count", "u32"),
+        Field("records", "bytes"),       # stamped records changing owner
+    ]),
+    StructDef("ns_shard_handoff_ack", T_NS_SHARD_HANDOFF_ACK, [
+        Field("ok", "u8"),
+        Field("count", "u32"),
+    ]),
+    StructDef("ns_antientropy", T_NS_ANTIENTROPY, [
+        Field("shard_id", "u32"),
+        Field("gen", "u64"),             # requester's watermark for the peer
+        Field("digest", "bytes"),        # requester's own generation tip
+    ]),
+    StructDef("ns_antientropy_ack", T_NS_ANTIENTROPY_ACK, [
+        Field("gen", "u64"),             # responder's generation tip
+        Field("count", "u32"),
+        Field("records", "bytes"),       # stamped records past the watermark
     ]),
 ]
 
@@ -317,3 +347,32 @@ def decode_batch_payload(data: bytes) -> Tuple[List[str], List[NameRecord]]:
     if not sep:
         raise ProtocolError("malformed batch-resolve payload")
     return decode_name_list(head.decode("ascii")), decode_records(tail)
+
+
+# -- stamped records (sharded naming, PROTOCOL.md §14) ---------------------------
+
+_STAMP_SEP = "\x1f"  # ASCII unit separator between stamp and record
+
+
+def encode_stamped_records(pairs: List[Tuple[int, NameRecord]]) -> bytes:
+    """Encode (generation stamp, record) pairs for an anti-entropy or
+    handoff tail field.  The stamp is the origin database's generation
+    at write time (PROTOCOL.md §9), so a receiver can resume a partial
+    sync from the highest stamp it applied."""
+    return _RECORD_SEP.join(
+        f"{stamp}{_STAMP_SEP}{record.encode()}" for stamp, record in pairs
+    ).encode("ascii")
+
+
+def decode_stamped_records(data: bytes) -> List[Tuple[int, NameRecord]]:
+    """Decode a stamped-record list from a bytes tail field."""
+    text = data.decode("ascii")
+    if not text:
+        return []
+    out: List[Tuple[int, NameRecord]] = []
+    for chunk in text.split(_RECORD_SEP):
+        stamp_text, sep, record_text = chunk.partition(_STAMP_SEP)
+        if not sep:
+            raise ProtocolError("malformed stamped record")
+        out.append((int(stamp_text), NameRecord.decode(record_text)))
+    return out

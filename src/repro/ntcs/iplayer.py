@@ -302,6 +302,20 @@ class IpLayer:
             net = blob_network(entry.blob)
             if net == local:
                 return _Plan(direct=True, blob=entry.blob)
+            if dst in nucleus.ns_addresses:
+                # A naming-fleet member (replica / shard server) on a
+                # remote network: take the well-known prime route.
+                # Planning through _first_hop would ask the naming
+                # service for the topology — and never ask the naming
+                # service where the naming service is (Sec. 3.4).
+                prime = wellknown.prime_gateway_blob(local, self._prime_index)
+                if prime is None:
+                    raise RouteNotFound(
+                        f"no well-known path to the naming fleet "
+                        f"from {local!r}"
+                    )
+                return _Plan(direct=False, blob=prime, gw_uadd=None,
+                             dst_network=net)
             return self._gateway_plan(dst, net)
 
         if dst.temporary:

@@ -76,6 +76,13 @@ class Testbed:
         # Swappable naming-service client (set by e.g. the replicated
         # deployment helper); None means the single-server NspLayer.
         self.nsp_factory = None
+        # Sharded naming bookkeeping (PROTOCOL.md §14), filled by
+        # repro.naming.shards.deploy_sharded_naming: machine → shard
+        # server (for chaos restarts), shard id → replica group, and
+        # the shard → [(uadd, blob, mtype)] directory.
+        self.name_shard_servers: Dict[str, NameServer] = {}
+        self.shard_groups: Dict[int, List[NameServer]] = {}
+        self.shard_directory: Dict[int, list] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -160,10 +167,16 @@ class Testbed:
         for network in (prime_for or []):
             blob = gateway.stacks[network].nd.listen_blob
             self.wellknown.add_prime_gateway(network, blob)
-        gateway.attach_nsp(lambda nucleus: NspLayer(nucleus))
+        gateway.attach_nsp(self._gateway_nsp_factory())
         gateway.register()
         self.gateways[machine_name] = gateway
         return gateway
+
+    def _gateway_nsp_factory(self):
+        """Gateways talk to whatever naming service the deployment
+        runs: the swapped-in factory (replicated / sharded) when one is
+        installed, the single-server NspLayer otherwise."""
+        return self.nsp_factory or (lambda nucleus: NspLayer(nucleus))
 
     def module(
         self,
@@ -223,7 +236,7 @@ class Testbed:
         process = SimProcess(machine, f"gw.{machine_name}")
         gateway = Gateway(process, self.registry, self.wellknown,
                           config=replace(self.config), bindings=bindings)
-        gateway.attach_nsp(lambda nucleus: NspLayer(nucleus))
+        gateway.attach_nsp(self._gateway_nsp_factory())
         gateway.register()
         self.gateways[machine_name] = gateway
         return gateway
@@ -249,6 +262,41 @@ class Testbed:
         if hasattr(old, "peer_uadds") and hasattr(server, "set_peers"):
             server.set_peers(list(old.peer_uadds))
         self.name_server_instance = server
+        return server
+
+    def restart_name_shard(self, machine_name: str) -> NameServer:
+        """Restart a crashed shard server (PROTOCOL.md §14) on its
+        machine with the surviving database, the same well-known
+        binding, and its original UAdd, shard map and replica peers —
+        then pull the writes it missed from its peers through one
+        anti-entropy round."""
+        old = self.name_shard_servers.get(machine_name)
+        if old is None:
+            raise SimulationError(
+                f"machine {machine_name!r} hosts no naming shard server")
+        machine = self.revive_machine(machine_name)
+        network = blob_network(old.listen_blob)
+        process = SimProcess(machine, old.process.name)
+        server = type(old)(
+            process, self.registry, self.wellknown,
+            network=network,
+            binding=self._binding_from_blob(old.listen_blob),
+            config=replace(self.config), db=old.db, name=old.name,
+            shard_id=old.shard_id,
+        )
+        server.set_shard_map(old.shard_directory)
+        server.set_peers(list(old.peer_uadds))
+        for entries in old.shard_directory.values():
+            for uadd, blob, mtype_name in entries:
+                server.nucleus.ns_addresses.add(uadd)
+                if uadd != server.uadd and blob:
+                    server.nucleus.addr_cache.store(uadd, blob, mtype_name)
+        self.name_shard_servers[machine_name] = server
+        group = self.shard_groups[old.shard_id]
+        group[group.index(old)] = server
+        if self.name_server_instance is old:
+            self.name_server_instance = server
+        server.run_antientropy()
         return server
 
     def record_wire_trace(self) -> NetTraceLog:
@@ -287,6 +335,9 @@ class Testbed:
             self.revive_machine(machine_name)
             if machine_name in self.gateways:
                 self.restart_gateway(machine_name)
+            if machine_name in self.name_shard_servers:
+                self.restart_name_shard(machine_name)
+                return
             ns = self.name_server_instance
             if ns is not None and ns.process.machine.name == machine_name:
                 self.restart_name_server()

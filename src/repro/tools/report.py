@@ -125,8 +125,11 @@ def naming_lines(results_dir: Optional[str] = None) -> List[str]:
         "",
         "From `BENCH_naming.json` — the PROTOCOL.md §9 resolution cache, "
         "single-flight coalescing, and batched Name-Server operations, "
-        "plus the pinned E5-internet invariants re-checked with the "
-        "cache on.  Regenerate with `python benchmarks/microbench.py`.",
+        "the pinned E5-internet invariants re-checked with the "
+        "cache on, and the PROTOCOL.md §14 sharded sweep (1/2/4-shard "
+        "bulk load of 10^5 modules with flat resolve cost, plus the "
+        "million-name ring placement balance).  Regenerate with "
+        "`python benchmarks/microbench.py --naming`.",
         "",
         "| bench | metric | value | unit |",
         "|---|---|---|---|",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro import APOLLO, Field, StructDef, SUN3, Testbed, VAX
+from repro.naming.shards import deploy_sharded_naming
 from repro.ntcs.nucleus import NucleusConfig
 
 # Application message types used across the integration tests.
@@ -63,6 +64,57 @@ def chain_nets(hops: int, config: NucleusConfig = None) -> Testbed:
     bed.machine("mEnd", VAX, networks=[f"net{hops}"])
     register_app_types(bed)
     return bed
+
+
+def sharded_single_net(shards: int = 2, replicas: int = 2,
+                       config: NucleusConfig = None):
+    """One Ethernet carrying a ``shards`` × ``replicas`` naming fleet
+    (machine ``ns<shard><replica>`` per server) plus two app machines;
+    every module talks to naming through a ShardedNspLayer.  Returns
+    ``(bed, {shard_id: [servers]})``."""
+    bed = Testbed(config=config)
+    bed.network("ether0", protocol="tcp")
+    shard_machines = []
+    for s in range(shards):
+        row = []
+        for r in range(replicas):
+            name = f"ns{s}{r}"
+            bed.machine(name, VAX if (s + r) % 2 == 0 else SUN3,
+                        networks=["ether0"])
+            row.append(name)
+        shard_machines.append(row)
+    bed.machine("app1", SUN3, networks=["ether0"])
+    bed.machine("app2", VAX, networks=["ether0"])
+    groups = deploy_sharded_naming(bed, shard_machines)
+    register_app_types(bed)
+    return bed, groups
+
+
+def sharded_chain(hops: int = 2, shards: int = 2, replicas: int = 2,
+                  config: NucleusConfig = None):
+    """The :func:`chain_nets` internet shape with the naming fleet
+    sharded across dedicated machines on net0: client machine ``m0`` on
+    net0, ``hops`` gateways, far machine ``mEnd`` on the last network.
+    Returns ``(bed, {shard_id: [servers]})``."""
+    bed = Testbed(config=config)
+    for i in range(hops + 1):
+        bed.network(f"net{i}", protocol="tcp")
+    shard_machines = []
+    for s in range(shards):
+        row = []
+        for r in range(replicas):
+            name = f"ns{s}{r}"
+            bed.machine(name, VAX, networks=["net0"])
+            row.append(name)
+        shard_machines.append(row)
+    bed.machine("m0", VAX, networks=["net0"])
+    groups = deploy_sharded_naming(bed, shard_machines)
+    for i in range(hops):
+        bed.machine(f"gwm{i}", SUN3, networks=[f"net{i}", f"net{i + 1}"])
+        bed.gateway(f"gwm{i}", prime_for=[f"net{i + 1}"])
+    bed.machine("mEnd", VAX, networks=[f"net{hops}"])
+    register_app_types(bed)
+    return bed, groups
 
 
 def echo_server(bed: Testbed, name: str, machine: str, **kwargs):

@@ -75,6 +75,35 @@ NAMING_BODIES = {
     },
 }
 
+# One fixed shard-directory record shared by the sharded-naming frames
+# (PROTOCOL.md §14): the owning shard's replica as carried by a
+# redirect.
+GOLDEN_SHARD_RECORD = np.NameRecord(
+    name="name.shard.2", uadd=Address(value=(2 << 48) | 1),
+    mtype_name="VAX", attrs={"kind": "nameserver", "shard": "2"},
+    addresses=[("ether0", "tcp:ether0:ns20:411")],
+    alive=True, registered_at=0.25,
+)
+
+# Sharded-naming bodies (PROTOCOL.md §14), frozen by PR 10 in their own
+# corr-id range so every pre-existing fixture stays byte-identical.
+SHARD_BODIES = {
+    "ns_shard_redirect": {
+        "shard_id": 2, "count": 1,
+        "records": np.encode_records([GOLDEN_SHARD_RECORD]),
+    },
+    "ns_shard_handoff": {
+        "shard_id": 2, "count": 1,
+        "records": np.encode_stamped_records([(4, GOLDEN_RECORD)]),
+    },
+    "ns_shard_handoff_ack": {"ok": 1, "count": 1},
+    "ns_antientropy": {"shard_id": 1, "gen": 4, "digest": b"7"},
+    "ns_antientropy_ack": {
+        "gen": 7, "count": 1,
+        "records": np.encode_stamped_records([(5, GOLDEN_RECORD)]),
+    },
+}
+
 
 def build_registry():
     registry = ConversionRegistry()
@@ -131,6 +160,13 @@ def cases(registry):
                            flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
                            type_id=entry.sdef.type_id, corr_id=corr_id,
                            body=entry.pack(values)))
+    for corr_id, (name, values) in enumerate(sorted(SHARD_BODIES.items()),
+                                             start=30):
+        entry = registry.get_by_name(name)
+        yield (name, m.Msg(kind=m.DATA, src=src, dst=dst,
+                           flags=m.FLAG_PACKED | m.FLAG_INTERNAL,
+                           type_id=entry.sdef.type_id, corr_id=corr_id,
+                           body=entry.pack(values)))
 
 
 def main():
@@ -144,7 +180,8 @@ def main():
                     name: {key: (value.hex() if isinstance(value, bytes)
                                  else value)
                            for key, value in values.items()}
-                    for name, values in NAMING_BODIES.items()},
+                    for name, values in
+                    {**NAMING_BODIES, **SHARD_BODIES}.items()},
                 "frames": []}
     for name, msg in cases(registry):
         frame = msg.encode()
